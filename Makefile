@@ -1,0 +1,38 @@
+# busarb build targets. Everything is plain `go` — this file just names
+# the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz paper examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus ablations and micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/scenario/
+	$(GO) test -fuzz=FuzzSettleFindsMax -fuzztime=30s ./internal/contention/
+
+# Full-effort reproduction of the paper's evaluation section.
+paper:
+	$(GO) run ./cmd/paper -all -ablations
+
+examples:
+	for d in examples/*/; do echo "=== $$d ==="; $(GO) run ./$$d; done
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,251 @@
+package busarb
+
+import (
+	"fmt"
+	"sort"
+
+	"busarb/internal/bussim"
+	"busarb/internal/core"
+	"busarb/internal/cyclesim"
+	"busarb/internal/dist"
+	"busarb/internal/experiment"
+	"busarb/internal/membus"
+	"busarb/internal/mp"
+	"busarb/internal/snoop"
+	"busarb/internal/stats"
+	"busarb/internal/workload"
+)
+
+// Core types, re-exported so downstream users never import internal
+// packages directly.
+type (
+	// Protocol is an arbitration protocol instance (see NewProtocol).
+	Protocol = core.Protocol
+	// Factory builds a Protocol for an n-agent bus.
+	Factory = core.Factory
+	// Outcome is one arbitration result.
+	Outcome = core.Outcome
+	// SimConfig configures a bus simulation run (§4.1 model).
+	SimConfig = bussim.Config
+	// Result carries a simulation run's measurements.
+	Result = bussim.Result
+	// Estimate is a batch-means point estimate with a 90% CI.
+	Estimate = stats.Estimate
+	// Sampler draws interrequest times.
+	Sampler = dist.Sampler
+	// Scenario is a named agent population.
+	Scenario = workload.Scenario
+	// ExperimentOpts controls the statistical effort of table/figure
+	// reproduction runs.
+	ExperimentOpts = experiment.Opts
+)
+
+// Protocols returns the registered protocol names, sorted.
+func Protocols() []string {
+	names := core.Names()
+	sort.Strings(names)
+	return names
+}
+
+// NewProtocol builds the named protocol for an n-agent bus. Names are
+// those of the paper: "RR1", "RR2", "RR3" (the three round-robin
+// implementations of §3.1), "FCFS1", "FCFS2" (the two counter-update
+// strategies of §3.2), "Hybrid" (§5), and the baselines "FP", "AAP1",
+// "AAP2".
+func NewProtocol(name string, n int) (Protocol, error) {
+	f, err := core.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(n), nil
+}
+
+// MustProtocol returns the Factory for name, panicking on unknown names.
+// Use it for literal protocol names in configuration.
+func MustProtocol(name string) Factory {
+	f, err := core.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Simulate runs the §4.1 bus simulation and returns its measurements.
+func Simulate(cfg SimConfig) *Result { return bussim.Run(cfg) }
+
+// EqualWorkload builds n identical agents offering totalLoad in
+// aggregate with interrequest coefficient of variation cv (§4.2).
+func EqualWorkload(n int, totalLoad, cv float64) Scenario {
+	return workload.Equal(n, totalLoad, cv)
+}
+
+// ScaledWorkload builds the §4.4 population: agent 1 requests at factor
+// times the rate of the n-1 identical others.
+func ScaledWorkload(n int, baseLoad, factor, cv float64) Scenario {
+	return workload.OneScaled(n, baseLoad, factor, cv)
+}
+
+// WorstCaseWorkload builds the §4.5 "just miss" population for RR.
+func WorstCaseWorkload(n int, cv float64) Scenario {
+	return workload.WorstCaseRR(n, cv)
+}
+
+// PriorityWorkload builds n equal agents whose requests are urgent with
+// the given probability; pair it with a priority-capable protocol from
+// NewPriorityProtocol.
+func PriorityWorkload(n int, totalLoad, cv, urgentProb float64) Scenario {
+	return workload.PriorityMix(n, totalLoad, cv, urgentProb)
+}
+
+// NewPriorityProtocol builds the priority-integrated variants of §2.4,
+// §3.1 and §3.2. Names: "RR1+prio" (urgent requests ignore the RR
+// protocol), "RR1+prio/rr" (round-robin within the urgent class),
+// "FCFS1+prio/overflow", "FCFS1+prio/matched", "FCFS2+prio". These are
+// also available through NewProtocol; this constructor exists to return
+// them with their ClassRequester capability statically known.
+func NewPriorityProtocol(name string, n int) (Protocol, error) {
+	switch name {
+	case "RR1+prio":
+		return core.NewPriorityRR(n, core.RRIgnoreWithinClass), nil
+	case "RR1+prio/rr":
+		return core.NewPriorityRR(n, core.RRWithinClass), nil
+	case "FCFS1+prio/overflow":
+		return core.NewPriorityFCFS1(n, core.CounterOverflow), nil
+	case "FCFS1+prio/matched":
+		return core.NewPriorityFCFS1(n, core.CounterMatched), nil
+	case "FCFS2+prio":
+		return core.NewPriorityFCFS2(n), nil
+	}
+	return nil, fmt.Errorf("busarb: unknown priority protocol %q", name)
+}
+
+// NewMultiFCFS builds the §3.2 extension serving up to r outstanding
+// requests per agent in global FCFS order.
+func NewMultiFCFS(n, r int) Protocol { return core.NewMultiFCFS(n, r) }
+
+// Experiment re-exports: each function regenerates one of the paper's
+// tables or figures; see EXPERIMENTS.md for the recorded outputs.
+
+// Table41 reproduces Table 4.1 (bandwidth allocation among equal
+// agents) for n agents; includeAAP adds the assured-access column shown
+// for 30 agents.
+func Table41(n int, includeAAP bool, o ExperimentOpts) []experiment.Table41Row {
+	return experiment.Table41(n, includeAAP, o)
+}
+
+// Table42 reproduces Table 4.2 (waiting-time standard deviation).
+func Table42(n int, o ExperimentOpts) []experiment.Table42Row {
+	return experiment.Table42(n, o)
+}
+
+// Figure41 reproduces Figure 4.1 (waiting-time CDFs, RR vs FCFS).
+func Figure41(n int, load float64, o ExperimentOpts) experiment.Figure41Result {
+	return experiment.Figure41(n, load, o)
+}
+
+// Table43 reproduces Table 4.3 (execution overlapped with waiting).
+func Table43(n int, o ExperimentOpts) []experiment.Table43Row {
+	return experiment.Table43(n, o)
+}
+
+// Table44 reproduces Table 4.4 (one agent at factor× request rate).
+func Table44(n int, factor float64, o ExperimentOpts) []experiment.Table44Row {
+	return experiment.Table44(n, factor, o)
+}
+
+// Table45 reproduces Table 4.5 (worst-case RR allocation vs CV).
+func Table45(n int, o ExperimentOpts) []experiment.Table45Row {
+	return experiment.Table45(n, o)
+}
+
+// Multiprocessor substrate (internal/mp): processors with private
+// caches whose misses become the arbitrated bus traffic — the workload
+// the paper's introduction motivates.
+type (
+	// Cache is a set-associative write-back LRU cache.
+	Cache = mp.Cache
+	// Processor couples a cache and a reference pattern into a bus
+	// traffic source.
+	Processor = mp.Processor
+	// Pattern generates synthetic memory-reference streams.
+	Pattern = mp.Pattern
+	// SequentialPattern streams through memory with a fixed stride.
+	SequentialPattern = mp.Sequential
+	// WorkingSetPattern references a fixed region uniformly.
+	WorkingSetPattern = mp.WorkingSet
+	// HotColdPattern mixes a hit-prone hot region with a cold one.
+	HotColdPattern = mp.HotCold
+	// MachineConfig assembles processors and a protocol into a machine.
+	MachineConfig = mp.MachineConfig
+	// MachineResult reports bus- and application-level measurements.
+	MachineResult = mp.MachineResult
+)
+
+// NewCache builds a set-associative write-back cache.
+func NewCache(sizeBytes, blockBytes, ways int) *Cache {
+	return mp.NewCache(sizeBytes, blockBytes, ways)
+}
+
+// RunMachine simulates a shared-bus multiprocessor.
+func RunMachine(cfg MachineConfig) *MachineResult { return mp.Run(cfg) }
+
+// Snooping-coherent machine (internal/snoop): MSI caches whose misses,
+// upgrades and write-backs are the arbitrated bus traffic, with
+// invalidations delivered when transactions commit.
+type (
+	// CoherentProc is one processor of the snooping machine.
+	CoherentProc = snoop.Proc
+	// CoherentConfig assembles the snooping machine.
+	CoherentConfig = snoop.Config
+	// CoherentResult reports its measurements.
+	CoherentResult = snoop.Result
+	// TxKind is a coherence bus-transaction type.
+	TxKind = snoop.TxKind
+)
+
+// The coherence transaction kinds.
+const (
+	BusRd   = snoop.BusRd
+	BusRdX  = snoop.BusRdX
+	BusUpgr = snoop.BusUpgr
+	BusWB   = snoop.BusWB
+)
+
+// RunCoherent simulates the snooping-coherent multiprocessor.
+func RunCoherent(cfg CoherentConfig) *CoherentResult { return snoop.Run(cfg) }
+
+// Memory bus (internal/membus): banked memory behind connected or
+// split-transaction block transfers, with the memory controller as an
+// arbitrated bus agent.
+type (
+	// MemBusConfig assembles the memory-bus machine.
+	MemBusConfig = membus.Config
+	// MemBusResult reports its measurements.
+	MemBusResult = membus.Result
+	// MemBusMode selects connected or split transfers.
+	MemBusMode = membus.Mode
+)
+
+// The memory-bus disciplines.
+const (
+	Connected = membus.Connected
+	Split     = membus.Split
+)
+
+// RunMemBus simulates the memory-bus machine.
+func RunMemBus(cfg MemBusConfig) *MemBusResult { return membus.Run(cfg) }
+
+// LineLevelBus builds the cycle-accurate wired-OR bus model for the
+// given protocol name ("FP", "RR1", "RR3", "FCFS1", "FCFS2"), the
+// hardware-shaped counterpart of the abstract protocols.
+func LineLevelBus(name string, n int) (*cyclesim.Bus, error) {
+	kinds := map[string]cyclesim.Kind{
+		"FP": cyclesim.FP, "RR1": cyclesim.RR1, "RR3": cyclesim.RR3,
+		"FCFS1": cyclesim.FCFS1, "FCFS2": cyclesim.FCFS2,
+	}
+	k, ok := kinds[name]
+	if !ok {
+		return nil, fmt.Errorf("busarb: no line-level model for %q", name)
+	}
+	return cyclesim.New(k, n), nil
+}

@@ -1,0 +1,125 @@
+package busarb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProtocolsSorted(t *testing.T) {
+	names := Protocols()
+	if len(names) < 9 {
+		t.Fatalf("Protocols() = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("not sorted: %v", names)
+		}
+	}
+}
+
+func TestNewProtocol(t *testing.T) {
+	p, err := NewProtocol("RR1", 10)
+	if err != nil || p.Name() != "RR1" || p.N() != 10 {
+		t.Fatalf("NewProtocol: %v %v", p, err)
+	}
+	if _, err := NewProtocol("bogus", 10); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestMustProtocolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProtocol(bogus) did not panic")
+		}
+	}()
+	MustProtocol("bogus")
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	sc := EqualWorkload(10, 1.5, 1.0)
+	cfg := SimConfig{Protocol: MustProtocol("RR1"), Seed: 1, Batches: 5, BatchSize: 1000}
+	sc.Apply(&cfg)
+	res := Simulate(cfg)
+	if res.ProtocolName != "RR1" || res.Completions != 5000 {
+		t.Fatalf("res = %+v", res)
+	}
+	if math.Abs(res.ThroughputRatio(10, 1).Mean-1.0) > 0.1 {
+		t.Errorf("RR fairness ratio = %s", res.ThroughputRatio(10, 1))
+	}
+}
+
+func TestWorkloadConstructors(t *testing.T) {
+	if s := EqualWorkload(10, 2.0, 0.5); s.N != 10 || math.Abs(s.TotalLoad-2.0) > 1e-9 {
+		t.Errorf("EqualWorkload: %+v", s)
+	}
+	if s := ScaledWorkload(30, 1.0, 2, 1.0); math.Abs(s.TotalLoad-31.0/30.0) > 1e-9 {
+		t.Errorf("ScaledWorkload total = %v", s.TotalLoad)
+	}
+	if s := WorstCaseWorkload(10, 0); s.Inter[0].Mean() != 9.5 {
+		t.Errorf("WorstCaseWorkload slow mean = %v", s.Inter[0].Mean())
+	}
+	if s := PriorityWorkload(8, 1.0, 1.0, 0.3); len(s.UrgentProb) != 8 {
+		t.Errorf("PriorityWorkload: %+v", s)
+	}
+}
+
+func TestNewPriorityProtocol(t *testing.T) {
+	for _, name := range []string{"RR1+prio", "RR1+prio/rr", "FCFS1+prio/overflow",
+		"FCFS1+prio/matched", "FCFS2+prio"} {
+		p, err := NewPriorityProtocol(name, 8)
+		if err != nil || p.N() != 8 {
+			t.Errorf("%s: %v %v", name, p, err)
+		}
+	}
+	if _, err := NewPriorityProtocol("nope", 8); err == nil {
+		t.Error("unknown priority protocol accepted")
+	}
+}
+
+func TestNewMultiFCFS(t *testing.T) {
+	p := NewMultiFCFS(8, 4)
+	if p.Name() != "FCFSx4" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestLineLevelBus(t *testing.T) {
+	b, err := LineLevelBus("RR1", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Request(3)
+	b.Request(5)
+	if err := b.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.GrantOrder(); len(got) != 2 || got[0] != 5 {
+		t.Errorf("grants = %v", got)
+	}
+	if _, err := LineLevelBus("AAP1", 6); err == nil {
+		t.Error("AAP1 has no line-level model; want error")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	o := ExperimentOpts{Batches: 3, BatchSize: 300, Seed: 2}
+	if rows := Table41(10, false, o); len(rows) == 0 {
+		t.Error("Table41 empty")
+	}
+	if rows := Table42(10, o); len(rows) == 0 {
+		t.Error("Table42 empty")
+	}
+	if f := Figure41(10, 1.5, o); len(f.Points) == 0 {
+		t.Error("Figure41 empty")
+	}
+	if rows := Table43(10, o); len(rows) == 0 {
+		t.Error("Table43 empty")
+	}
+	if rows := Table44(10, 2, o); len(rows) == 0 {
+		t.Error("Table44 empty")
+	}
+	if rows := Table45(10, o); len(rows) == 0 {
+		t.Error("Table45 empty")
+	}
+}

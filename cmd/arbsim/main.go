@@ -1,0 +1,212 @@
+// Command arbsim runs a single bus-arbitration simulation and reports
+// its measurements: throughput, utilization, fairness ratio, waiting
+// time mean/σ, and per-agent breakdowns.
+//
+// Examples:
+//
+//	arbsim -n 10 -protocol RR1 -load 1.5
+//	arbsim -n 30 -protocol FCFS1 -load 2.0 -cv 0.5 -peragent
+//	arbsim -n 30 -protocol FCFS2 -scaled 4          # agent 1 at 4x rate
+//	arbsim -n 10 -protocol RR1 -worstcase -cv 0     # the §4.5 scenario
+//	arbsim -scenario machine.json -json             # heterogeneous agents
+//	arbsim -n 8 -protocol RR3 -trace -batchsize 50  # event trace to stderr
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"busarb/internal/bussim"
+	"busarb/internal/core"
+	"busarb/internal/mp"
+	"busarb/internal/report"
+	"busarb/internal/scenario"
+	"busarb/internal/trace"
+	"busarb/internal/workload"
+)
+
+// runCompare runs several protocols on the identical workload and
+// prints one summary line each.
+func runCompare(list string, n int, load, cv float64, seed uint64, batches, batchSize int) {
+	fmt.Printf("%d agents, load %.2f, cv %.2f:\n\n", n, load, cv)
+	fmt.Printf("  %-8s  %-12s  %-10s  %-10s  %-12s\n",
+		"proto", "utilization", "W", "σW", "tN/t1")
+	for _, name := range splitTrim(list) {
+		factory, err := core.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg := bussim.Config{
+			Protocol:  factory,
+			Seed:      seed,
+			Batches:   batches,
+			BatchSize: batchSize,
+		}
+		workload.Equal(n, load, cv).Apply(&cfg)
+		res := bussim.Run(cfg)
+		fmt.Printf("  %-8s  %-12.3f  %-10.2f  %-10.2f  %-12.2f\n",
+			name, res.Utilization.Mean, res.WaitMean.Mean, res.WaitStdDev.Mean,
+			res.ThroughputRatio(n, 1).Mean)
+	}
+}
+
+func splitTrim(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runMachineScenario executes a multiprocessor scenario file and prints
+// bus- and application-level results.
+func runMachineScenario(raw []byte, seed uint64, batches, batchSize int) {
+	mf, err := scenario.LoadMachine(bytes.NewReader(raw))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := mf.Config()
+	if cfg.Seed == 0 {
+		cfg.Seed = seed
+	}
+	if cfg.Batches == 0 {
+		cfg.Batches = batches
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = batchSize
+	}
+	res := mp.Run(cfg)
+	fmt.Printf("machine:       %s (%d processors)\n", mf.Name, len(cfg.Processors))
+	fmt.Printf("protocol:      %s\n", res.Bus.ProtocolName)
+	fmt.Printf("bus util:      %s\n", res.Bus.Utilization)
+	fmt.Printf("mean wait:     %s\n", res.Bus.WaitMean)
+	fmt.Printf("slowest/mean:  %.3f\n", res.SlowestRelative())
+	fmt.Println("\n  proc   progress(ref/t)   miss rate")
+	for i := range res.Progress {
+		fmt.Printf("  %4d   %15.2f   %9.4f\n", i+1, res.Progress[i], res.MissRate[i])
+	}
+}
+
+func main() {
+	var (
+		n         = flag.Int("n", 10, "number of agents")
+		protoName = flag.String("protocol", "RR1", "protocol: FP, RR1, RR2, RR3, FCFS1, FCFS2, AAP1, AAP2, Hybrid")
+		load      = flag.Float64("load", 1.5, "total offered load")
+		cv        = flag.Float64("cv", 1.0, "interrequest coefficient of variation (0=deterministic, 1=exponential)")
+		scaled    = flag.Float64("scaled", 0, "if > 0, agent 1 requests at this multiple of the others' rate")
+		worst     = flag.Bool("worstcase", false, "use the §4.5 worst-case workload (ignores -load)")
+		scenFile  = flag.String("scenario", "", "load a JSON scenario file (overrides -n/-protocol/-load/-cv)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		batches   = flag.Int("batches", 10, "batches")
+		batchSize = flag.Int("batchsize", 8000, "completions per batch")
+		perAgent  = flag.Bool("peragent", false, "print per-agent throughput and waiting time")
+		asJSON    = flag.Bool("json", false, "emit the result as JSON")
+		doTrace   = flag.Bool("trace", false, "stream simulation events to stderr")
+		window    = flag.Int("window", 1, "outstanding requests per agent (>1 uses the multi-outstanding FCFS of §3.2)")
+		compare   = flag.String("compare", "", "comma-separated protocols to run side by side (overrides -protocol)")
+	)
+	flag.Parse()
+
+	if *compare != "" {
+		runCompare(*compare, *n, *load, *cv, *seed, *batches, *batchSize)
+		return
+	}
+
+	var cfg bussim.Config
+	name := ""
+	if *scenFile != "" {
+		raw, err := os.ReadFile(*scenFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if scenario.IsMachineFile(raw) {
+			runMachineScenario(raw, *seed, *batches, *batchSize)
+			return
+		}
+		sf, err := scenario.Load(bytes.NewReader(raw))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg = sf.Config()
+		if cfg.Seed == 0 {
+			cfg.Seed = *seed
+		}
+		if cfg.Batches == 0 {
+			cfg.Batches = *batches
+		}
+		if cfg.BatchSize == 0 {
+			cfg.BatchSize = *batchSize
+		}
+		name = sf.Name
+	} else {
+		factory, err := core.ByName(*protoName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "known protocols:", core.Names())
+			os.Exit(2)
+		}
+		if *window > 1 {
+			w := *window
+			factory = func(m int) core.Protocol { return core.NewMultiFCFS(m, w) }
+		}
+		var sc workload.Scenario
+		switch {
+		case *worst:
+			sc = workload.WorstCaseRR(*n, *cv)
+		case *scaled > 0:
+			sc = workload.OneScaled(*n, *load, *scaled, *cv)
+		default:
+			sc = workload.Equal(*n, *load, *cv)
+		}
+		cfg = bussim.Config{
+			Protocol:  factory,
+			Seed:      *seed,
+			Batches:   *batches,
+			BatchSize: *batchSize,
+			Window:    *window,
+		}
+		sc.Apply(&cfg)
+		name = sc.Name
+	}
+	if *doTrace {
+		cfg.Trace = &trace.Writer{W: os.Stderr}
+	}
+	res := bussim.Run(cfg)
+	nAgents := cfg.N
+
+	if *asJSON {
+		if err := report.WriteResultJSON(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("scenario:      %s\n", name)
+	fmt.Printf("protocol:      %s\n", res.ProtocolName)
+	fmt.Printf("completions:   %d over %.1f time units\n", res.Completions, res.Elapsed)
+	fmt.Printf("throughput:    %s req/unit\n", res.Throughput)
+	fmt.Printf("utilization:   %s\n", res.Utilization)
+	fmt.Printf("wait mean:     %s\n", res.WaitMean)
+	fmt.Printf("wait σ:        %s\n", res.WaitStdDev)
+	fmt.Printf("ratio tN/t1:   %s\n", res.ThroughputRatio(nAgents, 1))
+	fmt.Printf("arbitrations:  %d (%d exposed, %d repasses)\n",
+		res.Arbitrations, res.ExposedArbs, res.Repasses)
+
+	if *perAgent {
+		fmt.Println("\n  agent   throughput        mean wait")
+		for id := 1; id <= nAgents; id++ {
+			fmt.Printf("  %5d   %-15s  %8.2f\n",
+				id, res.AgentThroughput[id-1], res.AgentWait[id-1].Mean())
+		}
+	}
+}

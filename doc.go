@@ -1,0 +1,36 @@
+// Package busarb reproduces "Distributed Round-Robin and First-Come
+// First-Serve Protocols and Their Application to Multiprocessor Bus
+// Arbitration" (Mary K. Vernon and Udi Manber, ISCA 1988).
+//
+// The paper proposes two distributed bus-arbitration protocols built on
+// the parallel contention (wired-OR maximum-finding) arbiter used by the
+// Futurebus/Fastbus/NuBus/Multibus II standards: a round-robin protocol
+// using statically assigned arbitration numbers plus one priority bit,
+// and a first-come first-serve protocol whose arbitration numbers carry
+// a waiting-time counter in their most significant bits.
+//
+// This package is the public facade. It re-exports:
+//
+//   - the protocols (round-robin RR1/RR2/RR3, FCFS1/FCFS2, the §5
+//     hybrid, priority-integrated variants, and the fixed-priority and
+//     assured-access baselines) via NewProtocol and Protocols;
+//   - the §4.1 bus simulator via Simulate (see SimConfig and Result);
+//   - workload constructors for the paper's experiment populations;
+//   - the experiment harness that regenerates every table and figure in
+//     the paper's evaluation (Table41 ... Table45, Figure41).
+//
+// Quick start:
+//
+//	cfg := busarb.SimConfig{
+//		N:        10,
+//		Protocol: busarb.MustProtocol("RR1"),
+//		Inter:    busarb.EqualWorkload(10, 1.5, 1.0).Inter,
+//		Seed:     1,
+//	}
+//	res := busarb.Simulate(cfg)
+//	fmt.Println("mean wait:", res.WaitMean, "fairness:", res.ThroughputRatio(10, 1))
+//
+// The runnable examples under examples/ and the cmd/paper binary show
+// larger uses. DESIGN.md maps every subsystem and experiment to its
+// module; EXPERIMENTS.md records paper-versus-measured values.
+package busarb

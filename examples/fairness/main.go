@@ -1,0 +1,63 @@
+// Fairness: the experiment that motivates the paper. The "assured
+// access" protocols shipped in 1980s bus standards (Fastbus, NuBus,
+// Multibus II, Futurebus) were widely believed to be fair; modeling
+// studies showed the most favorably treated processor can receive up to
+// 100% more bus bandwidth than the least favorably treated one. The
+// paper's RR and FCFS protocols eliminate the bias.
+//
+// This example sweeps offered load and prints the throughput ratio of
+// the highest- to lowest-identity agent for every protocol family.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"busarb"
+)
+
+func main() {
+	const n = 16
+	protocols := []string{"FP", "AAP1", "AAP2", "RR1", "FCFS1", "FCFS2"}
+	loads := []float64{0.5, 1.0, 1.5, 2.5, 5.0}
+
+	fmt.Printf("Throughput ratio t%d/t1 (1.00 = fair), %d agents:\n\n", n, n)
+	fmt.Printf("%6s", "load")
+	for _, p := range protocols {
+		fmt.Printf("  %-8s", p)
+	}
+	fmt.Println()
+
+	for _, load := range loads {
+		fmt.Printf("%6.2f", load)
+		for _, name := range protocols {
+			sc := busarb.EqualWorkload(n, load, 1.0)
+			cfg := busarb.SimConfig{
+				Protocol:  busarb.MustProtocol(name),
+				Seed:      7,
+				Batches:   8,
+				BatchSize: 1500,
+			}
+			sc.Apply(&cfg)
+			res := busarb.Simulate(cfg)
+			ratio := res.ThroughputRatio(n, 1).Mean
+			if math.IsNaN(ratio) || math.IsInf(ratio, 0) || ratio > 99 {
+				// Agent 1 completed nothing in some batch: starved.
+				fmt.Printf("  %-8s", "starved")
+			} else {
+				fmt.Printf("  %-8.2f", ratio)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println(`
+Reading the table:
+  FP    — raw parallel contention arbiter: low identities starve under load.
+  AAP1  — Fastbus/NuBus/Multibus II batching: bias grows toward ~2x at
+          saturation (the unfairness the paper quantifies).
+  AAP2  — Futurebus inhibit/release: much fairer, still biased within batches.
+  RR1   — the paper's distributed round-robin: ratio pinned at 1.00.
+  FCFS1 — simple distributed FCFS: at most a few percent from counter ties.
+  FCFS2 — a-incr distributed FCFS: indistinguishable from perfect FCFS.`)
+}

@@ -1,0 +1,38 @@
+// Memory: block transfers against banked memory under the two bus
+// disciplines of the standards era. A connected bus (NuBus/Multibus
+// style) is held through the memory access; a split-transaction bus
+// (Fastbus/Futurebus style) releases it and lets the memory controller
+// arbitrate the data burst back — the controller competes through the
+// same distributed arbitration protocols this library reproduces.
+//
+// The sweep shows the design trade-off: with fast memory the
+// disciplines tie; as memory slows, the connected bus wastes its
+// bandwidth on dead cycles while the split bus keeps carrying traffic.
+package main
+
+import (
+	"fmt"
+
+	"busarb/internal/experiment"
+)
+
+func main() {
+	const (
+		n     = 12
+		banks = 8
+		load  = 2.0 // aggregate demand, in connected-service units
+	)
+	memTimes := []float64{0.25, 0.5, 1.0, 2.0, 4.0}
+	rows := experiment.SplitVsConnected(n, banks, load, memTimes,
+		experiment.Opts{Batches: 6, BatchSize: 1500, Seed: 11, Parallel: 4})
+	fmt.Println(experiment.FormatSplitVsConnected(n, banks, load, rows))
+	fmt.Println(`Reading the table: the connected bus is capped at 1/(A+M+D) transfers
+per unit time because it holds the bus through the memory access; even
+at mem time 0.25 that costs it 20% of the traffic this demand offers.
+By mem time 4.0 it spends 80% of every tenure waiting for the bank,
+while the split bus overlaps those waits with other processors'
+transfers — twice the carried throughput at a fraction of the latency.
+The response bursts are arbitrated like any other request, so the
+fairness guarantees of the RR/FCFS protocols cover the memory
+controller too.`)
+}

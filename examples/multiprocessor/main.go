@@ -1,0 +1,86 @@
+// Multiprocessor: a shared-memory multiprocessor whose processors stall
+// on cache-block transfers — the workload the paper's introduction
+// motivates. "The relative bus bandwidth allocated to each processor
+// translates directly to the relative speeds at which application
+// processes run" (§1): a processor's progress rate is proportional to
+// its request completion rate.
+//
+// The machine here has 15 identical CPUs plus one DMA engine requesting
+// at four times the CPU rate (agent 1). The example reports how each
+// arbitration protocol divides bus bandwidth between the DMA engine and
+// the CPUs as the machine approaches saturation, and what that does to
+// the slowest CPU's relative speed.
+package main
+
+import (
+	"fmt"
+
+	"busarb"
+)
+
+const (
+	nAgents   = 16
+	dmaFactor = 4.0
+)
+
+func run(protocol string, baseLoad float64) *busarb.Result {
+	sc := busarb.ScaledWorkload(nAgents, baseLoad, dmaFactor, 1.0)
+	cfg := busarb.SimConfig{
+		Protocol:  busarb.MustProtocol(protocol),
+		Seed:      11,
+		Batches:   8,
+		BatchSize: 2000,
+	}
+	sc.Apply(&cfg)
+	return busarb.Simulate(cfg)
+}
+
+func main() {
+	fmt.Println("16-agent multiprocessor: 15 CPUs + 1 DMA engine at 4x request rate")
+	fmt.Println()
+	fmt.Printf("%6s  %-6s  %12s  %12s  %14s\n",
+		"load", "proto", "DMA/CPU tput", "slowest CPU", "CPU spread")
+
+	for _, baseLoad := range []float64{0.5, 1.5, 3.0} {
+		for _, proto := range []string{"RR1", "FCFS2", "AAP1"} {
+			res := run(proto, baseLoad)
+
+			// DMA is agent 1; CPUs are 2..16.
+			dma := res.AgentThroughput[0].Mean
+			minCPU, maxCPU := -1.0, 0.0
+			for id := 2; id <= nAgents; id++ {
+				tp := res.AgentThroughput[id-1].Mean
+				if minCPU < 0 || tp < minCPU {
+					minCPU = tp
+				}
+				if tp > maxCPU {
+					maxCPU = tp
+				}
+			}
+			// A CPU's relative speed: its completion rate over the mean
+			// CPU completion rate. The slowest CPU bounds tightly
+			// coupled parallel programs (§2.3).
+			meanCPU := 0.0
+			for id := 2; id <= nAgents; id++ {
+				meanCPU += res.AgentThroughput[id-1].Mean
+			}
+			meanCPU /= float64(nAgents - 1)
+
+			fmt.Printf("%6.2f  %-6s  %12.2f  %12.3f  %13.1f%%\n",
+				baseLoad, proto, dma/meanCPU, minCPU/meanCPU, 100*(maxCPU-minCPU)/meanCPU)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println(`Reading the table:
+  DMA/CPU tput — bandwidth multiple granted to the 4x requester. Below
+      saturation every protocol gives ~4x. Past saturation RR evens the
+      allocation out (toward 1x) while FCFS keeps it closer to demand —
+      the §4.4 trade-off; which is preferable "depends on system
+      implementation goals".
+  slowest CPU  — relative speed of the most disadvantaged CPU (1.0 = no
+      penalty). Under AAP1 the low-identity CPUs fall behind at load;
+      under RR/FCFS no CPU is disadvantaged.
+  CPU spread   — max-min relative speed difference across CPUs: direct
+      bus-arbitration unfairness as seen by application code.`)
+}

@@ -1,0 +1,58 @@
+// Pipelined: the §3.2 multi-outstanding extension. "One nice property
+// of the FCFS algorithm is that it can easily be modified to allow each
+// agent to have more than one active request, yet still serve all
+// requests in FCFS order" — up to 8 outstanding requests cost only
+// ceil(log2 8) more counter bits.
+//
+// This example models processors with non-blocking caches that pipeline
+// block requests: each agent may have up to `window` transfers in
+// flight. It shows (a) the carried load rising with the window at fixed
+// interrequest times, and (b) the arbitration-line cost of each window
+// size.
+package main
+
+import (
+	"fmt"
+
+	"busarb"
+)
+
+const n = 8
+
+func run(window int) *busarb.Result {
+	cfg := busarb.SimConfig{
+		N:         n,
+		Protocol:  func(m int) busarb.Protocol { return busarb.NewMultiFCFS(m, window) },
+		Window:    window,
+		Seed:      3,
+		Batches:   8,
+		BatchSize: 2000,
+	}
+	cfg.Inter = busarb.EqualWorkload(n, 0.9*float64(n)/float64(n), 1.0).Inter
+	return busarb.Simulate(cfg)
+}
+
+func main() {
+	fmt.Printf("%d processors with pipelined bus requests (distributed FCFS):\n\n", n)
+	fmt.Printf("%8s  %12s  %12s  %11s\n", "window", "bus util", "mean wait", "wait σ")
+	for _, window := range []int{1, 2, 4, 8} {
+		res := run(window)
+		fmt.Printf("%8d  %12.3f  %12.2f  %11.2f\n",
+			window, res.Utilization.Mean, res.WaitMean.Mean, res.WaitStdDev.Mean)
+	}
+
+	fmt.Println("\nArbitration-number width per window size (static + counter bits):")
+	for _, window := range []int{1, 2, 4, 8} {
+		p := busarb.NewMultiFCFS(n, window)
+		m := p.(interface{ ExtraCounterBits() int })
+		fmt.Printf("  window %d: %d extra counter bit(s) beyond the single-request FCFS\n",
+			window, m.ExtraCounterBits())
+	}
+
+	fmt.Println(`
+With deeper windows the same processors keep the bus busier (their
+interrequest clocks keep running while transfers queue), yet every
+transfer still completes in global first-come first-serve order — the
+property the waiting-time counters preserve at a cost of log2(window)
+extra bus lines.`)
+}

@@ -1,0 +1,93 @@
+// SMP: a full shared-memory multiprocessor built from the library's
+// substrate — processors executing synthetic reference streams against
+// private write-back caches, with every miss (and dirty write-back)
+// becoming an arbitrated bus transaction.
+//
+// The machine mixes workload classes:
+//   - 4 "compute" processors with a cache-friendly hot working set,
+//   - 3 "streaming" processors marching through large arrays,
+//   - 1 "pointer-chasing" processor hitting a big cold region.
+//
+// For each arbitration protocol it reports bus utilization, per-class
+// application progress, and the slowest processor's relative speed —
+// the quantity §2.3 says bounds tightly coupled parallel programs.
+package main
+
+import (
+	"fmt"
+
+	"busarb"
+)
+
+func buildProcessors() []*busarb.Processor {
+	var procs []*busarb.Processor
+	for i := 0; i < 4; i++ { // compute: mostly hits
+		procs = append(procs, &busarb.Processor{
+			Cache:       busarb.NewCache(8192, 32, 2),
+			Pattern:     &busarb.HotColdPattern{HotBytes: 4096, ColdBytes: 1 << 20, HotProb: 0.97, WriteFrac: 0.3},
+			CyclePerRef: 0.10,
+		})
+	}
+	for i := 0; i < 3; i++ { // streaming: a miss every 8th reference
+		procs = append(procs, &busarb.Processor{
+			Cache:       busarb.NewCache(8192, 32, 2),
+			Pattern:     &busarb.SequentialPattern{Stride: 4, WriteFrac: 0.5},
+			CyclePerRef: 0.12,
+		})
+	}
+	procs = append(procs, &busarb.Processor{ // pointer chasing: cold
+		Cache:       busarb.NewCache(8192, 32, 2),
+		Pattern:     &busarb.WorkingSetPattern{Bytes: 1 << 22},
+		CyclePerRef: 0.50,
+	})
+	return procs
+}
+
+func main() {
+	fmt.Println("8-processor SMP: 4 compute + 3 streaming + 1 pointer-chasing")
+	fmt.Println("(progress in references per bus-transaction time; fairness is the")
+	fmt.Println("slowest/mean ratio within the four identical compute processors)")
+	fmt.Println()
+	fmt.Printf("%-6s  %8s  %10s  %10s  %10s  %14s\n",
+		"proto", "bus util", "compute", "streaming", "chasing", "compute fair")
+
+	for _, proto := range []string{"FP", "AAP1", "RR1", "FCFS2"} {
+		res := busarb.RunMachine(busarb.MachineConfig{
+			Processors: buildProcessors(),
+			Protocol:   busarb.MustProtocol(proto),
+			Seed:       17,
+			Batches:    6,
+			BatchSize:  2500,
+		})
+		classMean := func(lo, hi int) float64 {
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				sum += res.Progress[i]
+			}
+			return sum / float64(hi-lo)
+		}
+		// Fairness within the identical compute class (agents 1-4, the
+		// lowest bus identities — the ones a priority arbiter starves).
+		minC, maxC := res.Progress[0], res.Progress[0]
+		for i := 1; i < 4; i++ {
+			if res.Progress[i] < minC {
+				minC = res.Progress[i]
+			}
+			if res.Progress[i] > maxC {
+				maxC = res.Progress[i]
+			}
+		}
+		fmt.Printf("%-6s  %8.2f  %10.1f  %10.1f  %10.1f  %14.2f\n",
+			proto,
+			res.Bus.Utilization.Mean,
+			classMean(0, 4), classMean(4, 7), classMean(7, 8),
+			minC/classMean(0, 4))
+	}
+
+	fmt.Println(`
+Columns 3-5 are references executed per bus-transaction time — the
+application-level progress of each workload class. The last column is
+the §2.3 headline: under FP (and, milder, AAP1) the low-identity
+processors fall behind; under the paper's RR and FCFS protocols no
+processor is systematically slowed by its slot on the backplane.`)
+}

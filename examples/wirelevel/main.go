@@ -1,0 +1,63 @@
+// Wirelevel: the arbitration seen from the bus wires. This example
+// drives the cycle-accurate model in which each agent is a register-and-
+// comparator state machine and every arbitration is resolved by the
+// wired-OR settle process of the parallel contention arbiter (§2.1),
+// demonstrating the property the protocols rely on: the lines converge
+// to the maximum competing arbitration number, observably to all agents.
+package main
+
+import (
+	"fmt"
+
+	"busarb"
+)
+
+func main() {
+	// A saturated 6-agent bus under line-level round-robin: every agent
+	// re-requests the moment it is served.
+	bus, err := busarb.LineLevelBus("RR1", 6)
+	if err != nil {
+		panic(err)
+	}
+	for id := 1; id <= 6; id++ {
+		bus.Request(id)
+	}
+
+	fmt.Println("Line-level RR1 bus, 6 agents, all requesting (saturation):")
+	grants := 0
+	for tick := 0; grants < 18; tick++ {
+		if g := bus.Step(); g != nil {
+			fmt.Printf("  tick %3d: agent %d granted\n", g.StartTick, g.Agent)
+			grants++
+			bus.Request(g.Agent)
+		}
+	}
+	fmt.Printf("\ngrant order: %v\n", bus.GrantOrder())
+	fmt.Printf("arbitrations: %d, total wired-OR settle rounds: %d (avg %.1f/arbitration)\n",
+		bus.Arbitrations, bus.SettleRounds, float64(bus.SettleRounds)/float64(bus.Arbitrations))
+
+	fmt.Println(`
+Note the order: 6,5,4,3,2,1 repeating — the round-robin scan emerges
+from nothing but static identities, one extra priority bit, and the
+maximum-finding wired-OR lines. No token passes between agents and no
+central arbiter exists; each agent only watches the winning number on
+the bus and compares it with its own.`)
+
+	// The same bus under FCFS2: arrival order wins regardless of identity.
+	fbus, err := busarb.LineLevelBus("FCFS2", 6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Line-level FCFS2 bus: staggered arrivals 3, 6, 1, 5:")
+	fbus.Request(3)
+	fbus.Step()
+	fbus.Request(6)
+	fbus.Step()
+	fbus.Request(1)
+	fbus.Step()
+	fbus.Request(5)
+	if err := fbus.RunUntilIdle(100); err != nil {
+		panic(err)
+	}
+	fmt.Printf("grant order: %v (arrival order, not identity order)\n", fbus.GrantOrder())
+}

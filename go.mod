@@ -1,0 +1,3 @@
+module busarb
+
+go 1.22

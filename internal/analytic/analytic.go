@@ -1,0 +1,112 @@
+// Package analytic provides closed-form and numerical queueing results
+// that bound or approximate the simulated bus, used to validate the
+// simulator (and usable on their own for quick capacity estimates):
+//
+//   - the machine-repairman mean-value analysis (MVA) for the closed
+//     bus model of §4.1 (N cycling agents, one server);
+//   - exact saturation formulas (the regime the paper calls "peak
+//     demand ... useful for looking at the asymptotic behavior");
+//   - the M/G/1-style conservation-law statement the paper invokes for
+//     why all its protocols share one mean waiting time [Klei76];
+//   - the arbiter cost model of §1-§2: bus lines required and the Taub
+//     settle-delay bound.
+package analytic
+
+import "math"
+
+// BusLines returns the number of arbitration lines the parallel
+// contention arbiter needs for n agents: ceil(log2(n+1)) (§1; identity
+// 0 is reserved).
+func BusLines(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n + 1))))
+}
+
+// TaubSettleBound returns the §2.1 bound on the arbitration settle
+// time, in end-to-end bus propagation delays, for k arbitration lines:
+// k/2 (Taub 1984).
+func TaubSettleBound(k int) float64 { return float64(k) / 2 }
+
+// FCFSExtraLines returns the additional lines the FCFS protocol needs
+// beyond the basic arbiter for n agents with up to r outstanding
+// requests per agent (§3.2): a ceil(log2 n)-bit counter plus
+// ceil(log2 r) more bits for the multi-request extension.
+func FCFSExtraLines(n, r int) int {
+	extra := BusLines(n)
+	if r > 1 {
+		extra += int(math.Ceil(math.Log2(float64(r))))
+	}
+	return extra
+}
+
+// MVA solves the closed machine-repairman model by exact mean-value
+// analysis: n statistically identical agents cycle between thinking
+// (mean think time z) and a single FCFS server (mean service time s).
+// It returns the steady-state residence time at the server (queueing +
+// service) and the system throughput.
+//
+// The recursion is exact for exponential service; for the paper's
+// deterministic transactions it is an approximation that overstates
+// queueing slightly at mid load (deterministic service queues less) and
+// ignores the 0.5 arbitration exposure at low load, so the simulator is
+// expected to land within a few tenths of a time unit of it — the
+// validation tests encode exactly that band.
+func MVA(n int, s, z float64) (residence, throughput float64) {
+	if n < 1 || s <= 0 || z < 0 {
+		panic("analytic: MVA needs n >= 1, s > 0, z >= 0")
+	}
+	q := 0.0 // mean queue length with k-1 customers
+	var w, x float64
+	for k := 1; k <= n; k++ {
+		w = s * (1 + q)
+		x = float64(k) / (w + z)
+		q = x * w
+	}
+	return w, x
+}
+
+// SaturatedResidence returns the exact residence time of the
+// deterministic saturated bus: every one of the n agents is served once
+// per cycle of n service times, so a request issued z after the
+// previous completion waits n*s - z until its own completion. Valid
+// when the bus is saturated (total offered load comfortably above 1)
+// and agents are equal.
+func SaturatedResidence(n int, s, z float64) float64 { return float64(n)*s - z }
+
+// SaturatedAgentThroughput returns each equal agent's completion rate
+// on a saturated bus: one transaction per n service times.
+func SaturatedAgentThroughput(n int, s float64) float64 { return 1 / (float64(n) * s) }
+
+// ConservationHolds reports whether a set of per-protocol mean waiting
+// times is consistent with the conservation law for work-conserving,
+// non-preemptive disciplines whose service order is independent of
+// service times [Klei76]: all means must coincide within the given
+// relative tolerance.
+func ConservationHolds(waits []float64, relTol float64) bool {
+	if len(waits) < 2 {
+		return true
+	}
+	ref := waits[0]
+	for _, w := range waits[1:] {
+		if math.Abs(w-ref) > relTol*math.Abs(ref) {
+			return false
+		}
+	}
+	return true
+}
+
+// OfferedLoad returns an agent's offered load for service time s and
+// mean interrequest time z (§4.1: "bus transaction time divided by the
+// sum of its bus transaction time and mean interrequest time").
+func OfferedLoad(s, z float64) float64 { return s / (s + z) }
+
+// InterrequestFor returns the mean interrequest time realizing the
+// given per-agent offered load (the inverse of OfferedLoad).
+func InterrequestFor(load, s float64) float64 {
+	if load <= 0 || load >= 1 {
+		panic("analytic: per-agent load must be in (0,1)")
+	}
+	return s * (1 - load) / load
+}

@@ -1,0 +1,187 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"busarb/internal/bussim"
+	"busarb/internal/core"
+)
+
+func TestBusLines(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {3, 2}, {7, 3}, {10, 4}, {30, 5}, {63, 6}, {64, 7}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := BusLines(c.n); got != c.want {
+			t.Errorf("BusLines(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTaubSettleBound(t *testing.T) {
+	if TaubSettleBound(6) != 3 {
+		t.Error("k=6 bound should be 3 propagations (Futurebus example)")
+	}
+}
+
+func TestFCFSExtraLines(t *testing.T) {
+	// §3.2: "at most we need to double the size of the identities".
+	if got := FCFSExtraLines(30, 1); got != BusLines(30) {
+		t.Errorf("extra lines = %d, want %d", got, BusLines(30))
+	}
+	// "up to 8 requests outstanding ... only 3 more lines".
+	if got := FCFSExtraLines(30, 8) - FCFSExtraLines(30, 1); got != 3 {
+		t.Errorf("multi-request extra = %d, want 3", got)
+	}
+}
+
+func TestMVADegenerate(t *testing.T) {
+	// A single customer never queues: residence = service.
+	w, x := MVA(1, 1.0, 3.0)
+	if math.Abs(w-1.0) > 1e-12 {
+		t.Errorf("W = %v, want 1", w)
+	}
+	if math.Abs(x-0.25) > 1e-12 {
+		t.Errorf("X = %v, want 1/4", x)
+	}
+}
+
+func TestMVAPanics(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		s, z float64
+	}{{0, 1, 1}, {2, 0, 1}, {2, 1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MVA(%d,%v,%v) did not panic", c.n, c.s, c.z)
+				}
+			}()
+			MVA(c.n, c.s, c.z)
+		}()
+	}
+}
+
+func TestMVASaturationLimit(t *testing.T) {
+	// With tiny think time the server saturates: X -> 1/s, W -> n*s - z.
+	w, x := MVA(10, 1.0, 0.1)
+	if math.Abs(x-1.0) > 0.01 {
+		t.Errorf("saturated X = %v, want ~1", x)
+	}
+	if math.Abs(w-(10-0.1)) > 0.1 {
+		t.Errorf("saturated W = %v, want ~9.9", w)
+	}
+}
+
+// Property: MVA throughput never exceeds either capacity bound
+// (1/s or n/(s+z)) and residence is at least s.
+func TestMVABoundsProperty(t *testing.T) {
+	f := func(nRaw uint8, sRaw, zRaw uint16) bool {
+		n := 1 + int(nRaw%64)
+		s := 0.1 + float64(sRaw%100)/25
+		z := float64(zRaw%1000) / 50
+		w, x := MVA(n, s, z)
+		if w < s-1e-9 {
+			return false
+		}
+		if x > 1/s+1e-9 {
+			return false
+		}
+		if x > float64(n)/(s+z)+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The simulator must agree with MVA within the documented band: MVA
+// ignores the 0.5 exposed arbitration (undershoots at low load) and
+// assumes exponential service (overshoots queueing at mid load).
+func TestSimulatorMatchesMVA(t *testing.T) {
+	rr, _ := core.ByName("RR1")
+	for _, tc := range []struct {
+		n    int
+		load float64
+	}{
+		{10, 0.25}, {10, 1.0}, {10, 2.0}, {10, 5.0},
+		{30, 0.5}, {30, 2.0},
+	} {
+		z := bussim.MeanForLoad(tc.load/float64(tc.n), 1.0)
+		wMVA, xMVA := MVA(tc.n, 1.0, z)
+		res := bussim.Run(bussim.Config{
+			N: tc.n, Protocol: rr, Seed: 31,
+			Inter:   bussim.UniformLoad(tc.n, tc.load, 1.0, 1.0),
+			Batches: 8, BatchSize: 2000,
+		})
+		if diff := math.Abs(res.WaitMean.Mean - wMVA); diff > 0.30+0.12*wMVA {
+			t.Errorf("n=%d load=%v: sim W %v vs MVA %v (diff %v)",
+				tc.n, tc.load, res.WaitMean.Mean, wMVA, diff)
+		}
+		if diff := math.Abs(res.Throughput.Mean - xMVA); diff > 0.05 {
+			t.Errorf("n=%d load=%v: sim X %v vs MVA %v", tc.n, tc.load, res.Throughput.Mean, xMVA)
+		}
+	}
+}
+
+// The deterministic saturated bus matches the exact formula.
+func TestSimulatorMatchesSaturationFormula(t *testing.T) {
+	rr, _ := core.ByName("RR1")
+	const n = 10
+	const load = 7.52
+	z := bussim.MeanForLoad(load/n, 1.0)
+	res := bussim.Run(bussim.Config{
+		N: n, Protocol: rr, Seed: 33,
+		Inter:   bussim.UniformLoad(n, load, 1.0, 1.0),
+		Batches: 6, BatchSize: 2000,
+	})
+	want := SaturatedResidence(n, 1.0, z)
+	if math.Abs(res.WaitMean.Mean-want) > 0.05 {
+		t.Errorf("sim W %v vs exact saturation %v", res.WaitMean.Mean, want)
+	}
+	per := SaturatedAgentThroughput(n, 1.0)
+	for id := 1; id <= n; id++ {
+		if math.Abs(res.AgentThroughput[id-1].Mean-per) > 0.003 {
+			t.Errorf("agent %d throughput %v vs exact %v", id, res.AgentThroughput[id-1].Mean, per)
+		}
+	}
+}
+
+func TestConservationHolds(t *testing.T) {
+	if !ConservationHolds([]float64{5.0, 5.05, 4.98}, 0.02) {
+		t.Error("near-equal waits rejected")
+	}
+	if ConservationHolds([]float64{5.0, 6.0}, 0.02) {
+		t.Error("unequal waits accepted")
+	}
+	if !ConservationHolds([]float64{5.0}, 0) || !ConservationHolds(nil, 0) {
+		t.Error("degenerate cases should hold")
+	}
+}
+
+func TestLoadHelpers(t *testing.T) {
+	if got := OfferedLoad(1, 3); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("OfferedLoad = %v", got)
+	}
+	if got := InterrequestFor(0.25, 1); math.Abs(got-3) > 1e-12 {
+		t.Errorf("InterrequestFor = %v", got)
+	}
+	// Round trip.
+	f := func(raw uint16) bool {
+		load := 0.01 + float64(raw%97)/100
+		return math.Abs(OfferedLoad(1, InterrequestFor(load, 1))-load) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("InterrequestFor(1.0) did not panic")
+		}
+	}()
+	InterrequestFor(1.0, 1)
+}

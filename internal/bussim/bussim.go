@@ -1,0 +1,661 @@
+// Package bussim is the queueing-level simulator of a multiprocessor bus
+// under the paper's §4.1 assumptions:
+//
+//   - Bus transaction (service) times are deterministic and define the
+//     time unit (S = 1.0): cache-block or I/O-block transfers.
+//   - Arbitration overhead is 0.5 time units and is fully overlapped
+//     with bus service whenever requests are waiting: arbitration for
+//     the next master starts at the beginning of a bus transaction if
+//     requests are waiting then, and the winner takes over at the end of
+//     the transaction. An arbitration on an otherwise idle bus exposes
+//     its full 0.5 delay.
+//   - Each agent has one outstanding request at a time; after its
+//     transaction completes it "thinks" for a sampled interrequest time
+//     and then asserts the shared bus request line.
+//   - Output analysis uses the method of batch means (package stats):
+//     a discarded warm-up period, then B batches of a fixed number of
+//     request completions each.
+//
+// The "waiting time" reported throughout the paper's tables is the full
+// residence time of a request — from generation to transaction
+// completion — which reproduces W ≈ 1.5 at low load (exposed arbitration
+// plus service) and W ≈ N at saturation.
+package bussim
+
+import (
+	"fmt"
+	"sort"
+
+	"busarb/internal/core"
+	"busarb/internal/dist"
+	"busarb/internal/rng"
+	"busarb/internal/sim"
+	"busarb/internal/stats"
+	"busarb/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// N is the number of agents (identities 1..N).
+	N int
+	// Protocol builds the arbitration protocol under test.
+	Protocol core.Factory
+	// Service is the bus transaction time; 0 means the paper's 1.0.
+	Service float64
+	// ServiceDist, if non-nil, draws each transaction's duration from a
+	// distribution instead of the fixed Service (an extension beyond
+	// the paper's deterministic transfers; the §4 conservation law
+	// still applies because no protocol's order depends on service
+	// times). Utilization is then measured as actual busy time.
+	ServiceDist dist.Sampler
+	// ArbOverhead is the arbitration delay; 0 means the paper's 0.5.
+	// (To model a zero-overhead arbiter, use a tiny positive value.)
+	ArbOverhead float64
+	// Inter holds each agent's interrequest-time distribution,
+	// Inter[i] for agent i+1. Use UniformLoad for identical agents.
+	// Exactly one of Inter and Sources must be set.
+	Inter []dist.Sampler
+	// Sources optionally replaces Inter with stateful think-time
+	// generators (e.g. the processor/cache models of internal/mp whose
+	// time-to-next-request depends on simulated cache contents).
+	Sources []ThinkSource
+	// UrgentProb, if non-nil, gives each agent's probability that a
+	// request is urgent (priority class). Requires a protocol
+	// implementing core.ClassRequester to have any effect.
+	UrgentProb []float64
+	// Seed selects the random streams; runs are reproducible.
+	Seed uint64
+	// Batches and BatchSize configure the batch-means output analysis;
+	// zero values mean the paper's 10 batches of 8000 completions.
+	Batches   int
+	BatchSize int
+	// Warmup is the number of initial completions discarded before
+	// measurement; 0 means one batch worth (the sensible default), and
+	// a negative value disables the warm-up entirely.
+	Warmup int
+	// CollectWaits retains every post-warmup residence-time sample in
+	// an exact empirical CDF (needed for Figure 4.1 and Table 4.3).
+	CollectWaits bool
+	// HistBinWidth/HistMax, when positive, additionally collect a
+	// binned waiting-time histogram (cheaper than CollectWaits).
+	HistBinWidth float64
+	HistMax      float64
+	// LateJoin is an ablation switch: instead of arbitrating among the
+	// requesters present when the arbitration started (the request-line
+	// snapshot semantics of the real arbiter), competitors are taken at
+	// resolution time, letting requests that arrived during the
+	// arbitration delay join it.
+	LateJoin bool
+	// BoundaryArbOnly restricts arbitration starts to transaction
+	// boundaries and idle arrivals, the discipline of synchronous buses
+	// (and of the cycle-level model in internal/cyclesim): a request
+	// arriving mid-transaction with no arbitration pending waits for
+	// the transaction to end and then pays an exposed arbitration.
+	BoundaryArbOnly bool
+	// Trace, if non-nil, receives every simulation event (request,
+	// arbitration start/resolve/repass, grant, completion).
+	Trace trace.Sink
+	// Window is the per-agent outstanding-request limit (default 1).
+	// Values above 1 model processors that pipeline bus requests and
+	// require a protocol built for it (core.MultiFCFS, §3.2): an agent
+	// keeps generating requests, pausing its interrequest clock while
+	// the window is full, and its requests are served oldest-first.
+	Window int
+}
+
+// ThinkSource generates an agent's successive think times — the delays
+// between a transaction completing (or a window slot freeing) and the
+// next request. Unlike a plain distribution it may carry state: the
+// multiprocessor models in internal/mp simulate cache contents to
+// decide when the next miss occurs.
+type ThinkSource interface {
+	// NextThink returns the next think time (>= 0), drawing any needed
+	// randomness from src.
+	NextThink(src *rng.Source) float64
+	// MeanHint returns an a-priori mean think time if one is known, or
+	// 0; used only for reporting.
+	MeanHint() float64
+}
+
+// samplerSource adapts a stationary distribution to ThinkSource.
+type samplerSource struct{ d dist.Sampler }
+
+func (s samplerSource) NextThink(src *rng.Source) float64 { return s.d.Sample(src) }
+func (s samplerSource) MeanHint() float64                 { return s.d.Mean() }
+
+// UniformLoad returns N identical interrequest samplers such that each
+// agent offers load/n, following the paper's definition
+// load_i = S / (S + mean interrequest): mean = S*(n/load - 1)... per
+// agent: load_i = load/n, mean_i = S*(1-load_i)/load_i.
+func UniformLoad(n int, totalLoad, cv, service float64) []dist.Sampler {
+	if service <= 0 {
+		service = 1
+	}
+	per := totalLoad / float64(n)
+	if per <= 0 || per >= 1 {
+		panic(fmt.Sprintf("bussim: per-agent load %v out of (0,1)", per))
+	}
+	mean := service * (1 - per) / per
+	out := make([]dist.Sampler, n)
+	for i := range out {
+		out[i] = dist.ByCV(mean, cv)
+	}
+	return out
+}
+
+// MeanForLoad returns the interrequest mean that realizes the given
+// per-agent offered load with the given service time.
+func MeanForLoad(perAgentLoad, service float64) float64 {
+	if perAgentLoad <= 0 || perAgentLoad >= 1 {
+		panic(fmt.Sprintf("bussim: per-agent load %v out of (0,1)", perAgentLoad))
+	}
+	return service * (1 - perAgentLoad) / perAgentLoad
+}
+
+// Result carries all measurements from one run.
+type Result struct {
+	ProtocolName string
+	N            int
+	Seed         uint64
+
+	// Completions is the number of post-warmup request completions.
+	Completions int64
+	// Elapsed is the post-warmup measured time span.
+	Elapsed float64
+	// WallTime is the full simulated time span including warmup (the
+	// denominator for whole-run rates such as mp progress counters).
+	WallTime float64
+
+	// Throughput is total completions per unit time with its 90% CI
+	// (batch means). With S = 1 it equals bus utilization.
+	Throughput stats.Estimate
+	// Utilization is the fraction of measured time the bus spent
+	// serving transactions.
+	Utilization stats.Estimate
+
+	// AgentBatches[a][b] is agent (a+1)'s throughput in batch b.
+	AgentBatches [][]float64
+	// AgentThroughput[a] is agent (a+1)'s mean throughput estimate.
+	AgentThroughput []stats.Estimate
+
+	// WaitMean and WaitStdDev are batch-means estimates of the
+	// residence time's mean and standard deviation.
+	WaitMean   stats.Estimate
+	WaitStdDev stats.Estimate
+	// WaitPooled aggregates every post-warmup residence sample.
+	WaitPooled stats.Running
+	// AgentWait[a] pools agent (a+1)'s residence samples.
+	AgentWait []stats.Running
+	// WaitUrgent and WaitNormal split the residence samples by request
+	// class (meaningful when UrgentProb is set).
+	WaitUrgent stats.Running
+	WaitNormal stats.Running
+
+	// Waits is the exact CDF of residence times (nil unless
+	// Config.CollectWaits).
+	Waits *stats.ECDF
+	// Hist is the binned CDF (nil unless configured).
+	Hist *stats.Histogram
+
+	// Arbitrations counts resolved arbitrations; Repasses counts RR3
+	// empty passes (each charged a full arbitration delay).
+	Arbitrations int64
+	Repasses     int64
+	// ExposedArbs counts arbitrations whose delay was not overlapped
+	// with a transaction.
+	ExposedArbs int64
+
+	// MeanInter is the configured mean interrequest time of agent 1
+	// (handy for productivity computations on uniform workloads).
+	MeanInter float64
+
+	// Instance is the protocol instance the run used, for post-run
+	// introspection (e.g. PriorityFCFS1.Overflows).
+	Instance core.Protocol
+
+	// BatchAutocorr is the lag-1 autocorrelation of the per-batch mean
+	// waits: a batch-independence diagnostic for the batch-means method
+	// (values near 0 validate the confidence intervals; > ~0.3 warns
+	// that batches are too short [Lave83]).
+	BatchAutocorr float64
+}
+
+// meanInterHint returns agent 1's nominal mean think time, if known.
+func meanInterHint(cfg Config) float64 {
+	if cfg.Sources != nil {
+		return cfg.Sources[0].MeanHint()
+	}
+	return cfg.Inter[0].Mean()
+}
+
+// ThroughputRatio returns the batch-means estimate of agent a's
+// throughput over agent b's (identities 1..N), e.g. highest/lowest for
+// Table 4.1.
+func (r *Result) ThroughputRatio(a, b int) stats.Estimate {
+	return stats.RatioOfBatches(r.AgentBatches[a-1], r.AgentBatches[b-1])
+}
+
+type agentState struct {
+	id         int
+	inter      ThinkSource
+	src        *rng.Source
+	urgentProb float64
+	urgent     bool
+	// genTimes is the FIFO of generation times of requests not yet in
+	// service; the agent is "waiting" (asserting the request line)
+	// while it is non-empty.
+	genTimes []float64
+	// curGenTime is the generation time of the request in service.
+	curGenTime float64
+	// outstanding counts requests generated but not completed.
+	outstanding int
+	// genBlocked marks a full window: the interrequest clock restarts
+	// when a completion frees a slot.
+	genBlocked bool
+}
+
+func (a *agentState) waiting() bool { return len(a.genTimes) > 0 }
+
+type system struct {
+	cfg      Config
+	sched    sim.Scheduler
+	proto    core.Protocol
+	classReq core.ClassRequester // nil if the protocol ignores classes
+	agents   []*agentState       // index by id (0 unused)
+
+	waitingCount int
+	busBusy      bool
+	arbitrating  bool
+	pendingWin   int
+
+	service float64
+	arbOvh  float64
+
+	// measurement state
+	warmupLeft     int64
+	target         int64
+	batchSize      int64
+	done           bool
+	completions    int64
+	startTime      float64 // time warmup ended
+	batchStart     float64
+	batchIdx       int
+	batchAgentCnt  []int64 // per-agent completions in current batch
+	batchWait      stats.Running
+	batchBusy      float64 // bus busy time accrued in current batch
+	agentBatches   [][]float64
+	waitBatchMeans []float64
+	waitBatchStds  []float64
+	utilBatches    []float64
+	serviceSrc     *rng.Source
+	res            *Result
+}
+
+// Run executes the simulation described by cfg and returns its Result.
+func Run(cfg Config) *Result {
+	if cfg.N <= 0 {
+		panic("bussim: N must be positive")
+	}
+	if cfg.Protocol == nil {
+		panic("bussim: Protocol factory required")
+	}
+	switch {
+	case cfg.Sources != nil && cfg.Inter != nil:
+		panic("bussim: set exactly one of Inter and Sources")
+	case cfg.Sources != nil:
+		if len(cfg.Sources) != cfg.N {
+			panic(fmt.Sprintf("bussim: len(Sources)=%d, want N=%d", len(cfg.Sources), cfg.N))
+		}
+	case len(cfg.Inter) != cfg.N:
+		panic(fmt.Sprintf("bussim: len(Inter)=%d, want N=%d", len(cfg.Inter), cfg.N))
+	}
+	if cfg.UrgentProb != nil && len(cfg.UrgentProb) != cfg.N {
+		panic("bussim: len(UrgentProb) must equal N")
+	}
+	if cfg.Service == 0 {
+		cfg.Service = 1.0
+	}
+	if cfg.ArbOverhead == 0 {
+		cfg.ArbOverhead = 0.5
+	}
+	if cfg.Service <= 0 || cfg.ArbOverhead <= 0 {
+		panic(fmt.Sprintf("bussim: need positive Service and ArbOverhead, got %v, %v",
+			cfg.Service, cfg.ArbOverhead))
+	}
+	if cfg.ServiceDist == nil && cfg.ArbOverhead > cfg.Service {
+		panic(fmt.Sprintf("bussim: ArbOverhead %v exceeds Service %v",
+			cfg.ArbOverhead, cfg.Service))
+	}
+	if cfg.Batches == 0 {
+		cfg.Batches = 10
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8000
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 1
+	}
+	if cfg.Window < 1 {
+		panic(fmt.Sprintf("bussim: Window %d < 1", cfg.Window))
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.BatchSize
+	} else if cfg.Warmup < 0 {
+		cfg.Warmup = 0
+	}
+
+	proto := cfg.Protocol(cfg.N)
+	if proto.N() != cfg.N {
+		panic("bussim: protocol built for wrong N")
+	}
+	if cfg.Window > 1 {
+		// Multi-outstanding service requires a protocol that tracks
+		// per-request state and serves each agent's requests in FIFO
+		// order (core.MultiFCFS).
+		m, ok := proto.(interface{ MaxOutstanding() int })
+		if !ok {
+			panic(fmt.Sprintf("bussim: protocol %s does not support Window > 1", proto.Name()))
+		}
+		if m.MaxOutstanding() < cfg.Window {
+			panic(fmt.Sprintf("bussim: protocol window %d < configured %d", m.MaxOutstanding(), cfg.Window))
+		}
+	}
+	s := &system{
+		cfg:           cfg,
+		proto:         proto,
+		service:       cfg.Service,
+		arbOvh:        cfg.ArbOverhead,
+		warmupLeft:    int64(cfg.Warmup),
+		target:        int64(cfg.Batches) * int64(cfg.BatchSize),
+		batchSize:     int64(cfg.BatchSize),
+		batchAgentCnt: make([]int64, cfg.N+1),
+		agentBatches:  make([][]float64, cfg.N),
+	}
+	if cr, ok := proto.(core.ClassRequester); ok {
+		s.classReq = cr
+	}
+	s.res = &Result{
+		ProtocolName: proto.Name(),
+		N:            cfg.N,
+		Seed:         cfg.Seed,
+		AgentWait:    make([]stats.Running, cfg.N),
+		MeanInter:    meanInterHint(cfg),
+		Instance:     proto,
+	}
+	if cfg.CollectWaits {
+		s.res.Waits = &stats.ECDF{}
+	}
+	if cfg.HistBinWidth > 0 {
+		hm := cfg.HistMax
+		if hm <= 0 {
+			hm = 50 * cfg.Service * float64(cfg.N)
+		}
+		s.res.Hist = stats.NewHistogram(cfg.HistBinWidth, hm)
+	}
+
+	master := rng.New(cfg.Seed)
+	s.serviceSrc = master.Split()
+	s.agents = make([]*agentState, cfg.N+1)
+	for id := 1; id <= cfg.N; id++ {
+		var think ThinkSource
+		if cfg.Sources != nil {
+			think = cfg.Sources[id-1]
+		} else {
+			think = samplerSource{d: cfg.Inter[id-1]}
+		}
+		a := &agentState{id: id, inter: think, src: master.Split()}
+		if cfg.UrgentProb != nil {
+			a.urgentProb = cfg.UrgentProb[id-1]
+		}
+		s.agents[id] = a
+		s.scheduleNextRequest(a)
+	}
+
+	s.sched.Run(func() bool { return s.done })
+	s.finish()
+	return s.res
+}
+
+func (s *system) scheduleNextRequest(a *agentState) {
+	d := a.inter.NextThink(a.src)
+	if d < 0 {
+		panic(fmt.Sprintf("bussim: agent %d produced negative think time %v", a.id, d))
+	}
+	s.sched.After(d, func() { s.requestArrives(a) })
+}
+
+func (s *system) requestArrives(a *agentState) {
+	if a.outstanding >= s.cfg.Window {
+		panic("bussim: agent exceeded its request window")
+	}
+	a.outstanding++
+	if !a.waiting() {
+		s.waitingCount++
+	}
+	a.genTimes = append(a.genTimes, s.sched.Now())
+	a.urgent = a.urgentProb > 0 && a.src.Float64() < a.urgentProb
+	// The interrequest clock runs only while the window has room.
+	if a.outstanding < s.cfg.Window {
+		s.scheduleNextRequest(a)
+	} else {
+		a.genBlocked = true
+	}
+	if s.classReq != nil {
+		s.classReq.OnClassRequest(a.id, s.sched.Now(), a.urgent)
+	} else {
+		s.proto.OnRequest(a.id, s.sched.Now())
+	}
+	s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.Request, Agent: a.id, Urgent: a.urgent})
+	// Arbitration is overlapped with bus service whenever possible: if no
+	// arbitration is in flight and no winner is already lined up, the
+	// request line going high starts one immediately. Its delay is
+	// exposed only to the extent it outlives the current transaction
+	// (fully, when the bus is idle). Synchronous buses
+	// (BoundaryArbOnly) instead defer mid-transaction arrivals to the
+	// next boundary.
+	if !s.arbitrating && s.pendingWin == 0 {
+		if s.cfg.BoundaryArbOnly && s.busBusy {
+			return
+		}
+		s.beginArbitration(!s.busBusy)
+	}
+}
+
+func (s *system) waitingIDs() []int {
+	ids := make([]int, 0, s.waitingCount)
+	for id := 1; id <= s.cfg.N; id++ {
+		if s.agents[id].waiting() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// beginArbitration starts an arbitration among the agents asserting the
+// request line right now (the snapshot); it resolves after the
+// arbitration overhead. exposed marks an arbitration whose delay is not
+// hidden under a bus transaction.
+func (s *system) beginArbitration(exposed bool) {
+	if s.waitingCount == 0 {
+		return
+	}
+	s.arbitrating = true
+	if exposed {
+		s.res.ExposedArbs++
+	}
+	snapshot := s.waitingIDs()
+	s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.ArbStart, Agents: snapshot})
+	s.sched.After(s.arbOvh, func() { s.resolveArbitration(snapshot, exposed) })
+}
+
+// emit forwards an event to the configured trace sink, if any.
+func (s *system) emit(e trace.Event) {
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Record(e)
+	}
+}
+
+func (s *system) resolveArbitration(snapshot []int, exposed bool) {
+	// Every snapshot member is still waiting: a waiter can only leave by
+	// being granted the bus, and no grant occurs mid-arbitration.
+	if s.cfg.LateJoin {
+		snapshot = s.waitingIDs()
+	}
+	out := s.proto.Arbitrate(snapshot)
+	if out.Repass {
+		s.res.Repasses++
+		s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.ArbRepass})
+		// A fresh pass starts immediately with a fresh request-line
+		// snapshot; it costs another arbitration delay, which may spill
+		// past the current transaction's end (handled by completeService
+		// finding arbitrating == true).
+		fresh := s.waitingIDs()
+		s.sched.After(s.arbOvh, func() { s.resolveArbitration(fresh, exposed) })
+		return
+	}
+	s.res.Arbitrations++
+	s.arbitrating = false
+	w := out.Winner
+	s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.ArbResolve, Agent: w})
+	if !s.agents[w].waiting() {
+		panic(fmt.Sprintf("bussim: protocol %s granted non-waiting agent %d", s.proto.Name(), w))
+	}
+	if s.busBusy {
+		s.pendingWin = w
+	} else {
+		s.startService(w)
+	}
+}
+
+func (s *system) startService(id int) {
+	a := s.agents[id]
+	// The oldest queued request enters service.
+	a.curGenTime = a.genTimes[0]
+	a.genTimes = a.genTimes[1:]
+	if !a.waiting() {
+		s.waitingCount--
+	}
+	s.busBusy = true
+	s.pendingWin = 0
+	s.proto.OnServiceStart(id, s.sched.Now())
+	s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.Grant, Agent: id})
+	dur := s.service
+	if s.cfg.ServiceDist != nil {
+		dur = s.cfg.ServiceDist.Sample(s.serviceSrc)
+	}
+	s.sched.After(dur, func() { s.completeService(a, dur) })
+	// §4.1: arbitration for the next master starts at the beginning of a
+	// bus transaction whenever requests are waiting — fully overlapped.
+	if s.waitingCount > 0 && !s.arbitrating {
+		s.beginArbitration(false)
+	}
+}
+
+func (s *system) completeService(a *agentState, dur float64) {
+	s.busBusy = false
+	now := s.sched.Now()
+	s.emit(trace.Event{Time: now, Kind: trace.Complete, Agent: a.id})
+	s.recordCompletion(a, now-a.curGenTime, dur)
+	a.outstanding--
+	if a.genBlocked {
+		a.genBlocked = false
+		s.scheduleNextRequest(a)
+	}
+	if s.done {
+		return
+	}
+	switch {
+	case s.pendingWin != 0:
+		s.startService(s.pendingWin)
+	case s.arbitrating:
+		// An in-flight (repassed) arbitration will grant on resolution.
+	case s.waitingCount > 0:
+		// Requests arrived mid-transaction after the transaction-start
+		// arbitration window: an exposed arbitration must run now.
+		s.beginArbitration(true)
+	}
+}
+
+func (s *system) recordCompletion(a *agentState, wait, dur float64) {
+	if s.warmupLeft > 0 {
+		s.warmupLeft--
+		if s.warmupLeft == 0 {
+			s.startTime = s.sched.Now()
+			s.batchStart = s.sched.Now()
+		}
+		return
+	}
+	if s.completions >= s.target {
+		return
+	}
+	s.completions++
+	s.batchBusy += dur
+	s.res.WaitPooled.Add(wait)
+	s.res.AgentWait[a.id-1].Add(wait)
+	if a.urgent {
+		s.res.WaitUrgent.Add(wait)
+	} else {
+		s.res.WaitNormal.Add(wait)
+	}
+	s.batchWait.Add(wait)
+	s.batchAgentCnt[a.id]++
+	if s.res.Waits != nil {
+		s.res.Waits.Add(wait)
+	}
+	if s.res.Hist != nil {
+		s.res.Hist.Add(wait)
+	}
+	if s.completions%s.batchSize == 0 {
+		s.closeBatch()
+	}
+	if s.completions >= s.target {
+		s.done = true
+	}
+}
+
+func (s *system) closeBatch() {
+	now := s.sched.Now()
+	dur := now - s.batchStart
+	if dur <= 0 {
+		dur = 1e-12
+	}
+	for id := 1; id <= s.cfg.N; id++ {
+		s.agentBatches[id-1] = append(s.agentBatches[id-1],
+			float64(s.batchAgentCnt[id])/dur)
+		s.batchAgentCnt[id] = 0
+	}
+	s.waitBatchMeans = append(s.waitBatchMeans, s.batchWait.Mean())
+	s.waitBatchStds = append(s.waitBatchStds, s.batchWait.StdDev())
+	s.utilBatches = append(s.utilBatches, s.batchBusy/dur)
+	s.batchBusy = 0
+	s.batchWait.Reset()
+	s.batchStart = now
+	s.batchIdx++
+}
+
+func (s *system) finish() {
+	r := s.res
+	r.Completions = s.completions
+	r.Elapsed = s.sched.Now() - s.startTime
+	r.WallTime = s.sched.Now()
+	r.AgentBatches = s.agentBatches
+
+	// Total throughput per batch is the sum of agent throughputs.
+	nb := len(s.waitBatchMeans)
+	totals := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		for a := 0; a < s.cfg.N; a++ {
+			totals[b] += s.agentBatches[a][b]
+		}
+	}
+	r.Throughput = stats.BatchMeans(totals)
+	r.Utilization = stats.BatchMeans(s.utilBatches)
+	r.AgentThroughput = make([]stats.Estimate, s.cfg.N)
+	for a := 0; a < s.cfg.N; a++ {
+		r.AgentThroughput[a] = stats.BatchMeans(s.agentBatches[a])
+	}
+	r.WaitMean = stats.BatchMeans(s.waitBatchMeans)
+	r.WaitStdDev = stats.BatchMeans(s.waitBatchStds)
+	r.BatchAutocorr = stats.Lag1Autocorrelation(s.waitBatchMeans)
+}

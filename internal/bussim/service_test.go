@@ -1,0 +1,123 @@
+package bussim
+
+import (
+	"math"
+	"testing"
+
+	"busarb/internal/core"
+	"busarb/internal/dist"
+)
+
+// With exponential service and exponential think times, the closed
+// machine-repairman model has a product-form solution and mean-value
+// analysis is exact; the simulator must match it tightly when the
+// arbitration overhead is made negligible.
+func TestExponentialServiceMatchesExactMVA(t *testing.T) {
+	const (
+		n = 8
+		z = 6.0 // think time
+	)
+	f, _ := core.ByName("FCFS2")
+	res := Run(Config{
+		N:           n,
+		Protocol:    f,
+		Service:     1.0,
+		ServiceDist: dist.Exponential{MeanValue: 1.0},
+		ArbOverhead: 1e-6,
+		Inter:       replicate(dist.Exponential{MeanValue: z}, n),
+		Seed:        51,
+		Batches:     10, BatchSize: 4000,
+	})
+	// Exact MVA for s=1, z=6, n=8.
+	q := 0.0
+	var w, x float64
+	for k := 1; k <= n; k++ {
+		w = 1 * (1 + q)
+		x = float64(k) / (w + z)
+		q = x * w
+	}
+	if math.Abs(res.WaitMean.Mean-w) > 0.05*w {
+		t.Errorf("sim W = %v, exact MVA %v", res.WaitMean.Mean, w)
+	}
+	if math.Abs(res.Throughput.Mean-x) > 0.03*x {
+		t.Errorf("sim X = %v, exact MVA %v", res.Throughput.Mean, x)
+	}
+}
+
+func replicate(d dist.Sampler, n int) []dist.Sampler {
+	out := make([]dist.Sampler, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// The conservation law extends to variable service times as long as the
+// service order does not depend on them (true for every protocol here).
+func TestConservationWithVariableService(t *testing.T) {
+	var waits []float64
+	for _, name := range []string{"FP", "RR1", "FCFS2", "AAP1"} {
+		f, _ := core.ByName(name)
+		res := Run(Config{
+			N:           10,
+			Protocol:    f,
+			ServiceDist: dist.Erlang{K: 2, MeanValue: 1.0},
+			Inter:       UniformLoad(10, 1.5, 1.0, 1.0),
+			Seed:        52,
+			Batches:     8, BatchSize: 1500,
+		})
+		waits = append(waits, res.WaitMean.Mean)
+	}
+	for i := 1; i < len(waits); i++ {
+		if rel := math.Abs(waits[i]-waits[0]) / waits[0]; rel > 0.05 {
+			t.Errorf("protocol %d: W %v vs %v (rel %.1f%%)", i, waits[i], waits[0], 100*rel)
+		}
+	}
+}
+
+// Variable-service utilization is measured busy time, not a
+// throughput*S approximation: with service CV > 0, utilization still
+// stays in [0, 1] and matches throughput * mean service closely.
+func TestVariableServiceUtilization(t *testing.T) {
+	f, _ := core.ByName("RR1")
+	res := Run(Config{
+		N:           6,
+		Protocol:    f,
+		ServiceDist: dist.Exponential{MeanValue: 2.0},
+		Service:     2.0,
+		ArbOverhead: 0.5,
+		Inter:       replicate(dist.Exponential{MeanValue: 4.0}, 6),
+		Seed:        53,
+		Batches:     6, BatchSize: 1500,
+	})
+	if res.Utilization.Mean <= 0 || res.Utilization.Mean > 1+1e-9 {
+		t.Fatalf("utilization = %v", res.Utilization.Mean)
+	}
+	approx := res.Throughput.Mean * 2.0
+	if math.Abs(res.Utilization.Mean-approx) > 0.05 {
+		t.Errorf("utilization %v vs throughput*meanS %v", res.Utilization.Mean, approx)
+	}
+}
+
+// A service draw shorter than the arbitration overhead must not corrupt
+// the schedule: the overlapped arbitration simply resolves after the
+// transaction and the winner takes the bus then.
+func TestServiceShorterThanOverhead(t *testing.T) {
+	f, _ := core.ByName("FCFS2")
+	res := Run(Config{
+		N:           4,
+		Protocol:    f,
+		ServiceDist: dist.Exponential{MeanValue: 0.3}, // often < 0.5 overhead
+		Service:     0.3,
+		ArbOverhead: 0.5,
+		Inter:       replicate(dist.Exponential{MeanValue: 0.2}, 4),
+		Seed:        54,
+		Batches:     4, BatchSize: 1000,
+	})
+	if res.Completions != 4000 {
+		t.Errorf("completions = %d", res.Completions)
+	}
+	if res.Utilization.Mean > 1+1e-9 {
+		t.Errorf("utilization = %v > 1", res.Utilization.Mean)
+	}
+}

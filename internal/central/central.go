@@ -1,0 +1,157 @@
+// Package central implements centralized reference arbiters used as
+// correctness oracles for the distributed protocols:
+//
+//   - RoundRobin: a central round-robin arbiter. The paper claims its
+//     distributed RR protocol is "identical to the central round-robin
+//     arbiter" (§1); tests assert grant-sequence equality.
+//   - FCFSQueue: a central queue serving requests in arrival order
+//     (ties at identical arrival instants broken toward the higher
+//     static identity, matching the contention tie-break).
+//   - Ticket: the Sharma–Ahuja ticket-assignment FCFS scheme [ShAh81]
+//     the paper cites as prior FCFS work — requesters draw increasing
+//     ticket numbers and the lowest outstanding ticket is served.
+package central
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RoundRobin is a central round-robin arbiter over agents 1..N that
+// performs the paper's scan: after granting agent j, the next grant
+// scans j-1 down to 1, then N down to j.
+type RoundRobin struct {
+	n    int
+	last int
+}
+
+// NewRoundRobin returns a central RR arbiter for n agents.
+func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{n: n} }
+
+// Last returns the previously granted identity (0 before any grant).
+func (r *RoundRobin) Last() int { return r.last }
+
+// Grant selects the next agent among waiting (any order, ids 1..N) and
+// records it. It returns 0 if waiting is empty.
+func (r *RoundRobin) Grant(waiting []int) int {
+	bestBelow, bestAny := 0, 0
+	for _, id := range waiting {
+		if id <= 0 || id > r.n {
+			panic(fmt.Sprintf("central: bad id %d", id))
+		}
+		if id < r.last && id > bestBelow {
+			bestBelow = id
+		}
+		if id > bestAny {
+			bestAny = id
+		}
+	}
+	w := bestBelow
+	if w == 0 {
+		w = bestAny
+	}
+	if w != 0 {
+		r.last = w
+	}
+	return w
+}
+
+// Reset restores the initial state.
+func (r *RoundRobin) Reset() { r.last = 0 }
+
+// FCFSQueue is a central first-come first-serve queue. Requests enqueue
+// with their arrival time; Grant serves the earliest arrival, breaking
+// ties at identical instants toward the higher identity.
+type FCFSQueue struct {
+	reqs []fcfsReq
+}
+
+type fcfsReq struct {
+	id   int
+	time float64
+	seq  int64
+}
+
+// Enqueue records a request from agent id at the given time. Callers
+// must enqueue in non-decreasing time order.
+func (q *FCFSQueue) Enqueue(id int, time float64) {
+	q.reqs = append(q.reqs, fcfsReq{id: id, time: time, seq: int64(len(q.reqs))})
+}
+
+// Len returns the number of queued requests.
+func (q *FCFSQueue) Len() int { return len(q.reqs) }
+
+// Grant removes and returns the next request's agent identity, or 0 if
+// the queue is empty.
+func (q *FCFSQueue) Grant() int {
+	if len(q.reqs) == 0 {
+		return 0
+	}
+	best := 0
+	for i := 1; i < len(q.reqs); i++ {
+		a, b := q.reqs[i], q.reqs[best]
+		if a.time < b.time || (a.time == b.time && a.id > b.id) {
+			best = i
+		}
+	}
+	id := q.reqs[best].id
+	q.reqs = append(q.reqs[:best], q.reqs[best+1:]...)
+	return id
+}
+
+// Reset empties the queue.
+func (q *FCFSQueue) Reset() { q.reqs = nil }
+
+// Ticket is the Sharma–Ahuja FCFS scheme: a global ticket counter hands
+// out increasing tickets at request time; the lowest outstanding ticket
+// is served next. With distinct tickets it is exactly FCFS in request
+// order; simultaneous requests receive distinct tickets in identity
+// order (higher identity first, to match the contention tie-break).
+type Ticket struct {
+	next    int64
+	holders map[int]int64 // agent id -> ticket
+}
+
+// NewTicket returns an empty ticket arbiter.
+func NewTicket() *Ticket { return &Ticket{holders: make(map[int]int64)} }
+
+// Take assigns the next ticket to agent id. Simultaneous arrivals must
+// be passed together via TakeBatch for the identity-order tie-break.
+func (t *Ticket) Take(id int) {
+	t.holders[id] = t.next
+	t.next++
+}
+
+// TakeBatch assigns tickets to agents that requested at the same
+// instant, in descending identity order.
+func (t *Ticket) TakeBatch(ids []int) {
+	sorted := append([]int(nil), ids...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	for _, id := range sorted {
+		t.Take(id)
+	}
+}
+
+// Grant removes and returns the agent holding the lowest ticket, or 0
+// if none.
+func (t *Ticket) Grant() int {
+	best, bestTicket := 0, int64(-1)
+	for id, tk := range t.holders {
+		if bestTicket < 0 || tk < bestTicket {
+			best, bestTicket = id, tk
+		}
+	}
+	if best != 0 {
+		delete(t.holders, best)
+	}
+	return best
+}
+
+// Outstanding returns the number of agents holding tickets.
+func (t *Ticket) Outstanding() int { return len(t.holders) }
+
+// Reset restores the initial state.
+func (t *Ticket) Reset() {
+	t.next = 0
+	t.holders = make(map[int]int64)
+}

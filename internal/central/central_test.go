@@ -1,0 +1,120 @@
+package central
+
+import "testing"
+
+func TestRoundRobinScan(t *testing.T) {
+	r := NewRoundRobin(8)
+	if w := r.Grant([]int{3, 5, 7}); w != 7 {
+		t.Fatalf("first grant = %d, want 7 (no history: max)", w)
+	}
+	if w := r.Grant([]int{3, 5}); w != 5 {
+		t.Fatalf("grant = %d, want 5 (scan below 7)", w)
+	}
+	if w := r.Grant([]int{3, 8}); w != 3 {
+		t.Fatalf("grant = %d, want 3 (below 5 beats 8)", w)
+	}
+	if w := r.Grant([]int{8, 2}); w != 2 {
+		t.Fatalf("grant = %d, want 2", w)
+	}
+	if w := r.Grant([]int{8}); w != 8 {
+		t.Fatalf("grant = %d, want 8 (wrap to top)", w)
+	}
+	if r.Last() != 8 {
+		t.Errorf("Last = %d", r.Last())
+	}
+}
+
+func TestRoundRobinEmpty(t *testing.T) {
+	r := NewRoundRobin(4)
+	if w := r.Grant(nil); w != 0 {
+		t.Errorf("empty grant = %d, want 0", w)
+	}
+	r.Grant([]int{2})
+	r.Reset()
+	if r.Last() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestRoundRobinPanicsOnBadID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad id did not panic")
+		}
+	}()
+	NewRoundRobin(4).Grant([]int{5})
+}
+
+func TestFCFSQueueOrder(t *testing.T) {
+	var q FCFSQueue
+	q.Enqueue(3, 1.0)
+	q.Enqueue(7, 2.0)
+	q.Enqueue(1, 2.0) // tie with 7: higher id first
+	q.Enqueue(5, 3.0)
+	want := []int{3, 7, 1, 5}
+	for i, w := range want {
+		if g := q.Grant(); g != w {
+			t.Fatalf("grant %d = %d, want %d", i, g, w)
+		}
+	}
+	if q.Grant() != 0 || q.Len() != 0 {
+		t.Error("empty queue misbehaves")
+	}
+}
+
+func TestFCFSQueueReset(t *testing.T) {
+	var q FCFSQueue
+	q.Enqueue(1, 0)
+	q.Reset()
+	if q.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestTicketOrder(t *testing.T) {
+	tk := NewTicket()
+	tk.Take(4)
+	tk.Take(2)
+	tk.TakeBatch([]int{1, 6}) // simultaneous: 6 then 1
+	want := []int{4, 2, 6, 1}
+	for i, w := range want {
+		if g := tk.Grant(); g != w {
+			t.Fatalf("grant %d = %d, want %d", i, g, w)
+		}
+	}
+	if tk.Grant() != 0 {
+		t.Error("empty grant should be 0")
+	}
+}
+
+func TestTicketOutstandingAndReset(t *testing.T) {
+	tk := NewTicket()
+	tk.Take(1)
+	tk.Take(2)
+	if tk.Outstanding() != 2 {
+		t.Errorf("Outstanding = %d", tk.Outstanding())
+	}
+	tk.Reset()
+	if tk.Outstanding() != 0 || tk.Grant() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+// Ticket and FCFSQueue must agree when fed the same arrivals.
+func TestTicketMatchesQueue(t *testing.T) {
+	var q FCFSQueue
+	tk := NewTicket()
+	arrivals := []struct {
+		id int
+		t  float64
+	}{{5, 1}, {2, 2}, {8, 3}, {1, 4}, {6, 5}}
+	for _, a := range arrivals {
+		q.Enqueue(a.id, a.t)
+		tk.Take(a.id)
+	}
+	for q.Len() > 0 {
+		if g1, g2 := q.Grant(), tk.Grant(); g1 != g2 {
+			t.Fatalf("queue %d != ticket %d", g1, g2)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package contention implements the parallel contention arbiter of
+// Taub / Computing Devices of Canada (§2.1 of the paper): each competing
+// agent applies its arbitration number to a bank of wired-OR lines and
+// monitors them; an agent seeing a "1" on a line to which it applies "0"
+// removes the lower-order bits of its identity, reapplying them if the
+// line later drops. The lines settle to the maximum competing number.
+//
+// Two models are provided:
+//
+//   - Arbitration: a synchronous-round simulation of the settle process
+//     on real wired-OR lines (package wiredor), which records how many
+//     rounds the lines took to settle. This validates the distributed
+//     maximum-finding that every protocol in this repository relies on.
+//   - BinaryPatterned: the Johnson (US patent 4,375,639) single-pass
+//     comparator scheme (§2.1), which is faster but does not broadcast
+//     the winner's identity — which is why the RR protocols cannot use
+//     it (§3.1).
+package contention
+
+import (
+	"fmt"
+
+	"busarb/internal/wiredor"
+)
+
+// Competitor is one agent in an arbitration: its index (position on the
+// bus) and the arbitration number it applies.
+type Competitor struct {
+	Agent  int
+	Number uint64
+}
+
+// Result describes a settled arbitration.
+type Result struct {
+	// Winner is the index into the competitors slice of the winning
+	// agent, or -1 if no agent competed.
+	Winner int
+	// WinningNumber is the value the arbitration lines carry at steady
+	// state: the maximum competing number, or 0 if none competed. Every
+	// agent on the bus can observe this (§2.1) — the property the RR
+	// protocol depends on.
+	WinningNumber uint64
+	// Rounds is the number of synchronous update rounds the wired-OR
+	// model needed to settle. A round models one end-to-end bus
+	// propagation plus the arbiter logic reacting to it.
+	Rounds int
+}
+
+// Arbitration is a reusable line-level arbiter for a fixed line width and
+// agent count.
+type Arbitration struct {
+	bank  *wiredor.Bank
+	width int
+	// maxRounds bounds the settle loop; Taub proves settling within
+	// ~k/2 end-to-end delays, so 4k+4 synchronous rounds is generous.
+	maxRounds int
+}
+
+// New creates an arbiter with the given line width (bits per arbitration
+// number) and number of attached agents.
+func New(width, agents int) *Arbitration {
+	return &Arbitration{
+		bank:      wiredor.NewBank("AB", width, agents),
+		width:     width,
+		maxRounds: 4*width + 4,
+	}
+}
+
+// Width returns the number of arbitration lines.
+func (a *Arbitration) Width() int { return a.width }
+
+// Run performs one arbitration among the competitors and returns the
+// settled result. Numbers must fit in the arbiter's width. Run panics if
+// the lines fail to settle within the round bound, which would indicate a
+// bug in the settle model (Taub proved convergence).
+func (a *Arbitration) Run(comps []Competitor) Result {
+	r, _ := a.run(comps, false)
+	return r
+}
+
+// RunTraced is Run plus a per-round snapshot of the arbitration lines
+// (MSB first), for visualizing the settle process.
+func (a *Arbitration) RunTraced(comps []Competitor) (Result, [][]bool) {
+	return a.run(comps, true)
+}
+
+func (a *Arbitration) run(comps []Competitor, trace bool) (Result, [][]bool) {
+	if len(comps) == 0 {
+		return Result{Winner: -1, WinningNumber: 0, Rounds: 0}, nil
+	}
+	limit := uint64(1) << uint(a.width)
+	for _, c := range comps {
+		if c.Number >= limit {
+			panic(fmt.Sprintf("contention: number %b exceeds %d lines", c.Number, a.width))
+		}
+	}
+	a.bank.ReleaseAll()
+
+	// Each agent's view: the MSB-first bits of its identity, and the
+	// bits it currently applies given the line state it last observed.
+	bits := make([][]bool, len(comps))
+	for i, c := range comps {
+		bits[i] = numberBits(c.Number, a.width)
+		a.bank.Apply(c.Agent, bits[i])
+	}
+
+	var rows [][]bool
+	if trace {
+		rows = append(rows, a.bank.Values())
+	}
+	rounds := 0
+	for ; rounds < a.maxRounds; rounds++ {
+		lines := a.bank.Values()
+		changed := false
+		for i, c := range comps {
+			applied := appliedBits(bits[i], lines)
+			for j := 0; j < a.width; j++ {
+				if a.bank.Line(j).Driving(c.Agent) != applied[j] {
+					changed = true
+				}
+			}
+			a.bank.Apply(c.Agent, applied)
+		}
+		if trace && changed {
+			rows = append(rows, a.bank.Values())
+		}
+		if !changed {
+			break
+		}
+	}
+	if rounds == a.maxRounds {
+		panic("contention: arbitration lines failed to settle (model bug)")
+	}
+
+	win := a.bank.Value()
+	winner := -1
+	for i, c := range comps {
+		if c.Number == win {
+			winner = i
+			break
+		}
+	}
+	// Clean up: losers and winner all release at end of arbitration.
+	for _, c := range comps {
+		a.bank.Release(c.Agent)
+	}
+	return Result{Winner: winner, WinningNumber: win, Rounds: rounds}, rows
+}
+
+// appliedBits implements the per-agent monitoring rule of §2.1: find the
+// most significant line carrying "1" where the agent's identity has "0";
+// the agent keeps its identity bits above that line and removes
+// (releases) all bits below it. If no such line exists — the agent is not
+// outbid anywhere — it applies its full identity, which also reapplies
+// any previously removed bits once the offending line drops.
+func appliedBits(id, lines []bool) []bool {
+	cut := -1
+	for j := range id {
+		if lines[j] && !id[j] {
+			cut = j
+			break
+		}
+	}
+	out := make([]bool, len(id))
+	if cut < 0 {
+		copy(out, id)
+		return out
+	}
+	copy(out[:cut], id[:cut])
+	return out
+}
+
+// numberBits expands v into MSB-first bits of the given width.
+func numberBits(v uint64, width int) []bool {
+	out := make([]bool, width)
+	for i := 0; i < width; i++ {
+		out[i] = v&(1<<uint(width-1-i)) != 0
+	}
+	return out
+}
+
+// BinaryPatterned performs the Johnson single-pass arbitration: it
+// resolves the maximum in one comparison step (one end-to-end bus
+// propagation plus comparator logic) but, unlike the wired-OR settle, it
+// does not leave the winner's identity observable on shared lines
+// (§2.1). The boolean in the result distinguishes the two: observable is
+// false.
+func BinaryPatterned(comps []Competitor) (winnerIdx int, observable bool) {
+	winnerIdx = -1
+	var best uint64
+	for i, c := range comps {
+		if winnerIdx < 0 || c.Number > best {
+			winnerIdx, best = i, c.Number
+		}
+	}
+	return winnerIdx, false
+}

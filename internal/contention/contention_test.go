@@ -1,0 +1,218 @@
+package contention
+
+import (
+	"testing"
+	"testing/quick"
+
+	"busarb/internal/rng"
+)
+
+func TestEmptyArbitration(t *testing.T) {
+	a := New(4, 8)
+	r := a.Run(nil)
+	if r.Winner != -1 || r.WinningNumber != 0 {
+		t.Errorf("empty arbitration = %+v", r)
+	}
+}
+
+func TestSingleCompetitor(t *testing.T) {
+	a := New(4, 8)
+	r := a.Run([]Competitor{{Agent: 3, Number: 0b1010}})
+	if r.Winner != 0 || r.WinningNumber != 0b1010 {
+		t.Errorf("single competitor = %+v", r)
+	}
+}
+
+// The paper's own worked example (§2.1): identities 1010101 and 0011100.
+// The first agent removes its three lowest-order bits, the second all of
+// its bits; then the first reapplies. Steady state: 1010101.
+func TestPaperExample(t *testing.T) {
+	a := New(7, 2)
+	r := a.Run([]Competitor{
+		{Agent: 0, Number: 0b1010101},
+		{Agent: 1, Number: 0b0011100},
+	})
+	if r.WinningNumber != 0b1010101 || r.Winner != 0 {
+		t.Errorf("result = %+v, want winner 0 with 1010101", r)
+	}
+}
+
+func TestMaxAlwaysWins(t *testing.T) {
+	a := New(6, 64)
+	src := rng.New(17)
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + src.Intn(10)
+		comps := make([]Competitor, 0, n)
+		seen := map[uint64]bool{}
+		for len(comps) < n {
+			id := uint64(1 + src.Intn(63))
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			comps = append(comps, Competitor{Agent: len(comps), Number: id})
+		}
+		var want uint64
+		for _, c := range comps {
+			if c.Number > want {
+				want = c.Number
+			}
+		}
+		r := a.Run(comps)
+		if r.WinningNumber != want {
+			t.Fatalf("trial %d: lines settled to %b, want %b (comps %v)", trial, r.WinningNumber, want, comps)
+		}
+		if comps[r.Winner].Number != want {
+			t.Fatalf("trial %d: winner index wrong", trial)
+		}
+	}
+}
+
+// Property over arbitrary widths and competitor sets: the settle
+// algorithm finds the maximum and terminates within the round bound.
+func TestSettleProperty(t *testing.T) {
+	f := func(raw []uint16, w uint8) bool {
+		width := 1 + int(w%12)
+		arb := New(width, 16)
+		mask := uint64(1)<<uint(width) - 1
+		comps := make([]Competitor, 0, len(raw))
+		seen := map[uint64]bool{}
+		for _, v := range raw {
+			id := uint64(v) & mask
+			if id == 0 || seen[id] || len(comps) >= 16 {
+				continue
+			}
+			seen[id] = true
+			comps = append(comps, Competitor{Agent: len(comps), Number: id})
+		}
+		if len(comps) == 0 {
+			return true
+		}
+		var want uint64
+		for _, c := range comps {
+			if c.Number > want {
+				want = c.Number
+			}
+		}
+		r := arb.Run(comps)
+		return r.WinningNumber == want && comps[r.Winner].Number == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundsBounded(t *testing.T) {
+	// Taub's bound is ~k/2 end-to-end propagations; our synchronous
+	// round model should stay within a small multiple of k. Use the
+	// adversarial identity assignment (descending staircase) plus random
+	// sets and record the worst case.
+	const width = 8
+	a := New(width, 64)
+	worst := 0
+	// Staircase: 10000000, 11000000, ... maximizes sequential unmasking.
+	comps := make([]Competitor, width)
+	for i := 0; i < width; i++ {
+		comps[i] = Competitor{Agent: i, Number: (1<<uint(width) - 1) &^ (1<<uint(width-1-i) - 1)}
+	}
+	r := a.Run(comps)
+	if r.Rounds > worst {
+		worst = r.Rounds
+	}
+	src := rng.New(5)
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + src.Intn(30)
+		cs := make([]Competitor, 0, n)
+		seen := map[uint64]bool{}
+		for len(cs) < n {
+			id := uint64(1 + src.Intn(255))
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			cs = append(cs, Competitor{Agent: len(cs), Number: id})
+		}
+		res := a.Run(cs)
+		if res.Rounds > worst {
+			worst = res.Rounds
+		}
+	}
+	if worst > 2*width+2 {
+		t.Errorf("worst settle rounds %d exceeds 2k+2 = %d", worst, 2*width+2)
+	}
+	t.Logf("worst observed settle rounds for k=%d: %d", width, worst)
+}
+
+func TestLinesReleasedAfterRun(t *testing.T) {
+	a := New(5, 8)
+	a.Run([]Competitor{{Agent: 0, Number: 21}, {Agent: 1, Number: 9}})
+	// A second arbitration with different agents must not see stale bits.
+	r := a.Run([]Competitor{{Agent: 2, Number: 3}})
+	if r.WinningNumber != 3 {
+		t.Errorf("stale line state leaked: got %b", r.WinningNumber)
+	}
+}
+
+func TestRunPanicsOnOverwideNumber(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overwide number did not panic")
+		}
+	}()
+	New(3, 2).Run([]Competitor{{Agent: 0, Number: 8}})
+}
+
+func TestBinaryPatterned(t *testing.T) {
+	comps := []Competitor{
+		{Agent: 0, Number: 5},
+		{Agent: 1, Number: 12},
+		{Agent: 2, Number: 9},
+	}
+	idx, observable := BinaryPatterned(comps)
+	if idx != 1 {
+		t.Errorf("winner = %d, want 1", idx)
+	}
+	if observable {
+		t.Error("binary-patterned scheme must not expose the winner's identity on the lines (§2.1)")
+	}
+	if idx, _ := BinaryPatterned(nil); idx != -1 {
+		t.Errorf("empty = %d, want -1", idx)
+	}
+}
+
+// Both arbiters must agree on the winner for identical competitor sets.
+func TestBinaryPatternedMatchesWiredOR(t *testing.T) {
+	a := New(8, 16)
+	f := func(raw []uint8) bool {
+		comps := make([]Competitor, 0, len(raw))
+		seen := map[uint64]bool{}
+		for _, v := range raw {
+			if v == 0 || seen[uint64(v)] || len(comps) >= 16 {
+				continue
+			}
+			seen[uint64(v)] = true
+			comps = append(comps, Competitor{Agent: len(comps), Number: uint64(v)})
+		}
+		if len(comps) == 0 {
+			return true
+		}
+		bpIdx, _ := BinaryPatterned(comps)
+		r := a.Run(comps)
+		return comps[bpIdx].Number == comps[r.Winner].Number
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSettle(b *testing.B) {
+	a := New(7, 64)
+	comps := make([]Competitor, 32)
+	for i := range comps {
+		comps[i] = Competitor{Agent: i, Number: uint64(i*2 + 1)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Run(comps)
+	}
+}

@@ -1,0 +1,36 @@
+package contention_test
+
+import (
+	"fmt"
+
+	"busarb/internal/contention"
+)
+
+// The paper's §2.1 worked example: agents with identities 1010101 and
+// 0011100 compete. The first removes its three lowest-order bits when it
+// sees the OR of both numbers, the second removes all of its bits; then
+// the first reapplies, and the lines settle to the maximum.
+func Example() {
+	arb := contention.New(7, 2)
+	res, rounds := arb.RunTraced([]contention.Competitor{
+		{Agent: 0, Number: 0b1010101},
+		{Agent: 1, Number: 0b0011100},
+	})
+	for i, lines := range rounds {
+		fmt.Printf("round %d: ", i)
+		for _, v := range lines {
+			if v {
+				fmt.Print("1")
+			} else {
+				fmt.Print("0")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("winner: agent %d with %07b\n", res.Winner, res.WinningNumber)
+	// Output:
+	// round 0: 1011101
+	// round 1: 1010000
+	// round 2: 1010101
+	// winner: agent 0 with 1010101
+}

@@ -1,0 +1,45 @@
+package contention
+
+import "testing"
+
+// FuzzSettleFindsMax throws arbitrary competitor sets at the wired-OR
+// settle model: it must always converge to the maximum without panicking
+// (numbers are masked into range; zero/duplicate numbers are dropped the
+// way unique hardware identities guarantee).
+func FuzzSettleFindsMax(f *testing.F) {
+	f.Add(uint8(7), []byte{1, 5, 9})
+	f.Add(uint8(3), []byte{7, 6, 5, 4, 3, 2, 1})
+	f.Add(uint8(1), []byte{1})
+	f.Add(uint8(12), []byte{255, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, w uint8, raw []byte) {
+		width := 1 + int(w%16)
+		arb := New(width, 32)
+		mask := uint64(1)<<uint(width) - 1
+		seen := map[uint64]bool{}
+		var comps []Competitor
+		for _, b := range raw {
+			id := uint64(b) & mask
+			if id == 0 || seen[id] || len(comps) >= 32 {
+				continue
+			}
+			seen[id] = true
+			comps = append(comps, Competitor{Agent: len(comps), Number: id})
+		}
+		if len(comps) == 0 {
+			return
+		}
+		var want uint64
+		for _, c := range comps {
+			if c.Number > want {
+				want = c.Number
+			}
+		}
+		res := arb.Run(comps)
+		if res.WinningNumber != want {
+			t.Fatalf("settled to %b, want %b", res.WinningNumber, want)
+		}
+		if comps[res.Winner].Number != want {
+			t.Fatal("winner index mismatch")
+		}
+	})
+}

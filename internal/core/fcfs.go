@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+
+	"busarb/internal/ident"
+)
+
+// The distributed first-come first-serve protocol (§3.2). Each agent's
+// arbitration number is the concatenation of a waiting-time counter
+// (most significant) and its static identity (least significant). The
+// counter is zeroed when a new request is generated and incremented on
+// predefined global events while the request waits; the maximum-finding
+// arbitration then favors the longest-waiting request. Two requests
+// falling in the same counting interval are served in static-identity
+// order — the source of the protocol's (small) residual unfairness,
+// quantified in Table 4.1.
+
+// FCFS1 is the simpler counting strategy: the counter is incremented
+// each time the agent loses an arbitration, and reset on a win. With at
+// most one outstanding request per agent the counter never exceeds N-1,
+// so a modulo-N counter of ceil(log2 N) bits suffices (§3.2).
+type FCFS1 struct {
+	n       int
+	layout  ident.Layout
+	modulus int
+	counter []int // indexed by agent id; valid while the agent waits
+}
+
+// NewFCFS1 returns the lose-counting FCFS implementation for n agents.
+func NewFCFS1(n int) *FCFS1 { return NewFCFS1Bits(n, ident.Width(n)) }
+
+// NewFCFS1Bits returns FCFS1 with an explicit counter width. Narrower
+// counters (the paper: "fewer bits in the dynamic portion should
+// implement nearly ideal FCFS scheduling when the bus is not saturated")
+// saturate instead of wrapping, since a wrapped counter would invert the
+// service order; the hardware analogue is a saturating counter, which
+// costs the same.
+func NewFCFS1Bits(n, counterBits int) *FCFS1 {
+	if counterBits < 1 {
+		panic(fmt.Sprintf("core: FCFS1 needs at least 1 counter bit, got %d", counterBits))
+	}
+	return &FCFS1{
+		n:       n,
+		layout:  ident.Layout{StaticBits: ident.Width(n), CounterBits: counterBits},
+		modulus: 1 << counterBits,
+		counter: make([]int, n+1),
+	}
+}
+
+// Name implements Protocol.
+func (p *FCFS1) Name() string {
+	if p.modulus == 1<<ident.Width(p.n) {
+		return "FCFS1"
+	}
+	return fmt.Sprintf("FCFS1/%db", p.layout.CounterBits)
+}
+
+// N implements Protocol.
+func (p *FCFS1) N() int { return p.n }
+
+// Counter returns agent id's current waiting-time counter (for tests).
+func (p *FCFS1) Counter(id int) int { return p.counter[id] }
+
+// OnRequest implements Protocol: a new request starts with counter 0.
+func (p *FCFS1) OnRequest(id int, _ float64) { p.counter[id] = 0 }
+
+// OnServiceStart implements Protocol.
+func (p *FCFS1) OnServiceStart(int, float64) {}
+
+// Arbitrate implements Protocol.
+func (p *FCFS1) Arbitrate(waiting []int) Outcome {
+	validateWaiting(p.n, waiting)
+	nums := make([]uint64, len(waiting))
+	for i, id := range waiting {
+		nums[i] = p.layout.Encode(ident.Number{Static: id, Counter: p.counter[id]})
+	}
+	w := waiting[pickMax(nums)]
+	// "Lose" increments (saturating at the field's maximum); "win"
+	// resets.
+	for _, id := range waiting {
+		if id == w {
+			p.counter[id] = 0
+		} else if p.counter[id] < p.modulus-1 {
+			p.counter[id]++
+		}
+	}
+	return Outcome{Winner: w}
+}
+
+// Reset implements Protocol.
+func (p *FCFS1) Reset() {
+	for i := range p.counter {
+		p.counter[i] = 0
+	}
+}
+
+// FCFS2 is the more accurate counting strategy: an extra wired-OR line,
+// a-incr, is pulsed by an agent when it generates a new request, and
+// every waiting agent increments its counter on each pulse. The counter
+// then counts the requests that arrived after this one, so the
+// arbitration implements arrival-order service exactly, up to requests
+// arriving within one a-incr propagation window (§3.2). In this
+// continuous-time model, only requests arriving at the identical instant
+// share a counter value.
+type FCFS2 struct {
+	n       int
+	layout  ident.Layout
+	counter []int
+	waiting []bool
+	lastT   float64 // time of the most recent a-incr pulse
+	hasLast bool
+}
+
+// NewFCFS2 returns the a-incr FCFS implementation for n agents. The
+// counter needs only ceil(log2 N) bits: at most N-1 requests can arrive
+// while an agent waits (each other agent can contribute at most one
+// pulse that precedes this agent's grant).
+func NewFCFS2(n int) *FCFS2 {
+	return &FCFS2{
+		n:       n,
+		layout:  ident.Layout{StaticBits: ident.Width(n), CounterBits: ident.Width(n)},
+		counter: make([]int, n+1),
+		waiting: make([]bool, n+1),
+	}
+}
+
+// Name implements Protocol.
+func (p *FCFS2) Name() string { return "FCFS2" }
+
+// N implements Protocol.
+func (p *FCFS2) N() int { return p.n }
+
+// Counter returns agent id's current waiting-time counter (for tests).
+func (p *FCFS2) Counter(id int) int { return p.counter[id] }
+
+// OnRequest implements Protocol: the new requester pulses a-incr; every
+// already-waiting agent increments. Requests at the identical instant
+// see each other's pulse as one (they are inside the sensing window) and
+// share counter values.
+func (p *FCFS2) OnRequest(id int, now float64) {
+	samePulse := p.hasLast && now == p.lastT
+	for a := 1; a <= p.n; a++ {
+		if p.waiting[a] {
+			if samePulse && p.counter[a] == 0 {
+				// This agent arrived in the same window; it does not
+				// count the coincident pulse.
+				continue
+			}
+			if p.counter[a] < 1<<p.layout.CounterBits-1 {
+				p.counter[a]++
+			}
+		}
+	}
+	p.counter[id] = 0
+	p.waiting[id] = true
+	p.lastT, p.hasLast = now, true
+}
+
+// OnServiceStart implements Protocol.
+func (p *FCFS2) OnServiceStart(id int, _ float64) { p.waiting[id] = false }
+
+// Arbitrate implements Protocol.
+func (p *FCFS2) Arbitrate(waiting []int) Outcome {
+	validateWaiting(p.n, waiting)
+	nums := make([]uint64, len(waiting))
+	for i, id := range waiting {
+		nums[i] = p.layout.Encode(ident.Number{Static: id, Counter: p.counter[id]})
+	}
+	return Outcome{Winner: waiting[pickMax(nums)]}
+}
+
+// Reset implements Protocol.
+func (p *FCFS2) Reset() {
+	for i := range p.counter {
+		p.counter[i] = 0
+		p.waiting[i] = false
+	}
+	p.hasLast = false
+	p.lastT = 0
+}
+
+// Hybrid is the §5 "further research" combination: round-robin order
+// among requests that arrive in the same counting interval, FCFS across
+// intervals. It is FCFS2's counter with RR1's round-robin bit below it:
+// the counter dominates (FCFS between intervals); within a counter tie
+// the RR bit implements the round-robin scan instead of fixed priority.
+type Hybrid struct {
+	n          int
+	layout     ident.Layout
+	counter    []int
+	waiting    []bool
+	lastWinner int
+	lastT      float64
+	hasLast    bool
+}
+
+// NewHybrid returns the hybrid protocol for n agents.
+func NewHybrid(n int) *Hybrid {
+	return &Hybrid{
+		n:       n,
+		layout:  ident.Layout{StaticBits: ident.Width(n), RRBit: true, CounterBits: ident.Width(n)},
+		counter: make([]int, n+1),
+		waiting: make([]bool, n+1),
+	}
+}
+
+// Name implements Protocol.
+func (p *Hybrid) Name() string { return "Hybrid" }
+
+// N implements Protocol.
+func (p *Hybrid) N() int { return p.n }
+
+// OnRequest implements Protocol (FCFS2's a-incr counting).
+func (p *Hybrid) OnRequest(id int, now float64) {
+	samePulse := p.hasLast && now == p.lastT
+	for a := 1; a <= p.n; a++ {
+		if p.waiting[a] {
+			if samePulse && p.counter[a] == 0 {
+				continue
+			}
+			if p.counter[a] < 1<<p.layout.CounterBits-1 {
+				p.counter[a]++
+			}
+		}
+	}
+	p.counter[id] = 0
+	p.waiting[id] = true
+	p.lastT, p.hasLast = now, true
+}
+
+// OnServiceStart implements Protocol.
+func (p *Hybrid) OnServiceStart(id int, _ float64) { p.waiting[id] = false }
+
+// Arbitrate implements Protocol.
+func (p *Hybrid) Arbitrate(waiting []int) Outcome {
+	validateWaiting(p.n, waiting)
+	nums := make([]uint64, len(waiting))
+	for i, id := range waiting {
+		nums[i] = p.layout.Encode(ident.Number{
+			Static:  id,
+			RR:      id < p.lastWinner,
+			Counter: p.counter[id],
+		})
+	}
+	w := waiting[pickMax(nums)]
+	p.lastWinner = w
+	return Outcome{Winner: w}
+}
+
+// Reset implements Protocol.
+func (p *Hybrid) Reset() {
+	for i := range p.counter {
+		p.counter[i] = 0
+		p.waiting[i] = false
+	}
+	p.lastWinner = 0
+	p.hasLast = false
+	p.lastT = 0
+}

@@ -1,0 +1,125 @@
+// Package core implements the paper's primary contribution — the
+// distributed round-robin (RR) and first-come first-serve (FCFS) bus
+// arbitration protocols of Vernon & Manber (ISCA 1988, §3) — together
+// with the protocols they are compared against: the fixed-priority
+// parallel contention arbiter and the two "assured access" fairness
+// protocols of the 1980s bus standards (§2.2).
+//
+// All protocols are expressed against one abstraction: at each
+// arbitration, every competing agent applies a composite arbitration
+// number (package ident) and the bus's maximum-finding mechanism
+// (package contention) selects the largest. A protocol is therefore just
+// (a) a rule for which waiting agents compete, and (b) a rule for the
+// dynamic fields of each competitor's arbitration number.
+//
+// Agent identities are 1..N (identity 0 is reserved, §2.1).
+package core
+
+import (
+	"fmt"
+
+	"busarb/internal/ident"
+)
+
+// Outcome is the result of one arbitration pass.
+type Outcome struct {
+	// Winner is the identity of the agent granted the bus, or 0 if the
+	// pass selected no one.
+	Winner int
+	// Repass reports that the arbitration was empty and must be run
+	// again immediately (RR3's "winning identity of zero" case, §3.1).
+	// The caller charges a second arbitration delay for it.
+	Repass bool
+}
+
+// Protocol is the scheduling logic layered over the parallel contention
+// arbiter. Implementations are single-threaded by design: the simulator
+// owns one instance per bus.
+//
+// The simulator calls OnRequest when an agent asserts the shared bus
+// request line, Arbitrate with the identities of all agents with
+// outstanding requests (ascending order) when an arbitration resolves,
+// and OnServiceStart when the winner assumes bus mastership.
+type Protocol interface {
+	// Name returns the protocol's short name ("RR1", "FCFS2", ...).
+	Name() string
+	// N returns the number of agents the instance was built for.
+	N() int
+	// OnRequest records that agent id generated a request at time now.
+	OnRequest(id int, now float64)
+	// OnServiceStart records that agent id became bus master at now.
+	OnServiceStart(id int, now float64)
+	// Arbitrate selects the next bus master among the waiting agents.
+	// waiting is never empty and is sorted ascending.
+	Arbitrate(waiting []int) Outcome
+	// Reset restores initial state.
+	Reset()
+}
+
+// Factory builds a protocol instance for an n-agent bus.
+type Factory func(n int) Protocol
+
+// validateWaiting panics on malformed input; protocols are internal and
+// the simulator must uphold the contract.
+func validateWaiting(n int, waiting []int) {
+	if len(waiting) == 0 {
+		panic("core: Arbitrate with no waiting agents")
+	}
+	prev := 0
+	for _, id := range waiting {
+		if id <= prev || id > n {
+			panic(fmt.Sprintf("core: bad waiting set %v for n=%d", waiting, n))
+		}
+		prev = id
+	}
+}
+
+// pickMax runs the (abstract) maximum-finding arbitration over encoded
+// numbers and returns the index of the winner. It stands in for a
+// settled parallel contention arbitration; package contention verifies
+// that the wired-OR settle process computes exactly this maximum.
+func pickMax(nums []uint64) int {
+	_, idx := ident.Max(nums)
+	return idx
+}
+
+// ---------------------------------------------------------------------
+// Fixed priority (the raw parallel contention arbiter, §2.1).
+
+// FixedPriority grants the bus to the highest static identity among the
+// competitors. It is maximally unfair under load and exists as the
+// baseline the assured access protocols (and the paper's protocols) fix.
+type FixedPriority struct {
+	n      int
+	layout ident.Layout
+}
+
+// NewFixedPriority returns a fixed-priority protocol for n agents.
+func NewFixedPriority(n int) *FixedPriority {
+	return &FixedPriority{n: n, layout: ident.LayoutFor(n)}
+}
+
+// Name implements Protocol.
+func (p *FixedPriority) Name() string { return "FP" }
+
+// N implements Protocol.
+func (p *FixedPriority) N() int { return p.n }
+
+// OnRequest implements Protocol.
+func (p *FixedPriority) OnRequest(int, float64) {}
+
+// OnServiceStart implements Protocol.
+func (p *FixedPriority) OnServiceStart(int, float64) {}
+
+// Arbitrate implements Protocol.
+func (p *FixedPriority) Arbitrate(waiting []int) Outcome {
+	validateWaiting(p.n, waiting)
+	nums := make([]uint64, len(waiting))
+	for i, id := range waiting {
+		nums[i] = p.layout.Encode(ident.Number{Static: id})
+	}
+	return Outcome{Winner: waiting[pickMax(nums)]}
+}
+
+// Reset implements Protocol.
+func (p *FixedPriority) Reset() {}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"busarb/internal/rng"
+)
+
+func TestRotatingDynUndynBijection(t *testing.T) {
+	f := func(nRaw, jRaw, idRaw uint8) bool {
+		n := 2 + int(nRaw%30)
+		j := 1 + int(jRaw)%n
+		id := 1 + int(idRaw)%n
+		p := NewRotatingRR(n)
+		d := p.dyn(id, j)
+		if d < 1 || d > n {
+			return false
+		}
+		return p.undyn(d, j) == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotatingScanOrder(t *testing.T) {
+	// Base j: priority j-1 > j-2 > ... > 1 > N > ... > j.
+	p := NewRotatingRR(8)
+	j := 5
+	if p.dyn(4, j) != 8 {
+		t.Errorf("dyn(4|5) = %d, want 8 (scan head)", p.dyn(4, j))
+	}
+	if p.dyn(5, j) != 1 {
+		t.Errorf("dyn(5|5) = %d, want 1 (just served)", p.dyn(5, j))
+	}
+	if !(p.dyn(1, j) > p.dyn(8, j)) {
+		t.Error("id 1 must outrank id N in the wrapped scan")
+	}
+}
+
+// A healthy rotating-priority system schedules identically to the
+// paper's static-identity RR1.
+func TestRotatingEqualsRR1WhenHealthy(t *testing.T) {
+	src := rng.New(77)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + src.Intn(16)
+		ops := randomHistory(src, n, 120)
+		rot := replay(t, NewRotatingRR(n), ops)
+		rr1 := NewRR1(n)
+		// Align initial conditions: RotatingRR starts as if agent N had
+		// just been served.
+		rr1.SetLastWinner(n)
+		static := replay(t, rr1, ops)
+		if !equalInts(rot, static) {
+			t.Fatalf("trial %d (n=%d): rotating %v != RR1 %v", trial, n, rot, static)
+		}
+	}
+}
+
+func TestRotatingHealthyNoCollisions(t *testing.T) {
+	src := rng.New(78)
+	p := NewRotatingRR(12)
+	d := newDriver(t, p)
+	for i := 0; i < 500; i++ {
+		if src.Intn(2) == 0 || len(d.waiting) == 0 {
+			id := 1 + src.Intn(12)
+			if !d.waiting[id] {
+				d.request(id)
+			}
+		} else {
+			d.arbitrate()
+		}
+	}
+	if p.Collisions != 0 {
+		t.Errorf("healthy system recorded %d collisions", p.Collisions)
+	}
+}
+
+// The paper's robustness argument, demonstrated: one corrupted rotation
+// base desynchronizes the dynamic scheme permanently — the agent keeps
+// decoding winners through its wrong base and collisions occur — while
+// the static scheme heals at the very next arbitration because the
+// winner's true identity is on the lines.
+func TestRotatingCorruptionPersists(t *testing.T) {
+	const n = 8
+	p := NewRotatingRR(n)
+	d := newDriver(t, p)
+	// Saturate and let it run healthy for a bit.
+	for id := 1; id <= n; id++ {
+		d.request(id)
+	}
+	for i := 0; i < 3*n; i++ {
+		w := d.arbitrate()
+		d.request(w)
+	}
+	if p.Collisions != 0 {
+		t.Fatalf("collisions before corruption: %d", p.Collisions)
+	}
+	// Fault: agent 3 missed an arbitration and holds a stale base.
+	p.Corrupt(3, (p.Base(1)+3)%n+1)
+	desyncSeen, collisionSeen := false, false
+	for i := 0; i < 40*n; i++ {
+		w := d.arbitrate()
+		d.request(w)
+		if p.Base(3) != p.Base(1) {
+			desyncSeen = true
+		}
+		if p.Collisions > 0 {
+			collisionSeen = true
+		}
+	}
+	if !desyncSeen {
+		t.Error("corruption did not desynchronize the rotating scheme")
+	}
+	if !collisionSeen {
+		t.Error("persistent desync never produced an arbitration collision")
+	}
+	// And it never heals: the bases still disagree after 320 grants.
+	if p.Base(3) == p.Base(1) {
+		t.Error("rotating scheme resynchronized (it has no mechanism to)")
+	}
+}
+
+func TestRR1CorruptionHealsInOneArbitration(t *testing.T) {
+	const n = 8
+	p := NewRR1(n)
+	d := newDriver(t, p)
+	for id := 1; id <= n; id++ {
+		d.request(id)
+	}
+	for i := 0; i < n; i++ {
+		w := d.arbitrate()
+		d.request(w)
+	}
+	// Fault: the winner register is corrupted (e.g. one agent glitched;
+	// in hardware each agent has its own copy, all rewritten from the
+	// bus each arbitration — the shared register here is that fact).
+	p.SetLastWinner(3)
+	w := d.arbitrate() // possibly out-of-order grant
+	d.request(w)
+	// From the next arbitration on, the register again equals the true
+	// last winner: the distributed state is consistent.
+	if p.LastWinner() != w {
+		t.Fatalf("register %d != true winner %d after one arbitration", p.LastWinner(), w)
+	}
+	// And the schedule is again perfect round-robin: each agent served
+	// exactly once per N grants.
+	counts := make([]int, n+1)
+	for i := 0; i < 3*n; i++ {
+		g := d.arbitrate()
+		counts[g]++
+		d.request(g)
+	}
+	for id := 1; id <= n; id++ {
+		if counts[id] != 3 {
+			t.Errorf("agent %d served %d/24 after healing, want 3", id, counts[id])
+		}
+	}
+}
+
+// Under saturation, a desynchronized rotating scheme distributes grants
+// unevenly while RR1 stays perfectly fair.
+func TestRotatingDesyncUnfairness(t *testing.T) {
+	const n = 8
+	p := NewRotatingRR(n)
+	d := newDriver(t, p)
+	for id := 1; id <= n; id++ {
+		d.request(id)
+	}
+	p.Corrupt(2, 5)
+	p.Corrupt(6, 3)
+	counts := make([]int, n+1)
+	const rounds = 50
+	for i := 0; i < rounds*n; i++ {
+		w := d.arbitrate()
+		counts[w]++
+		d.request(w)
+	}
+	lo, hi := counts[1], counts[1]
+	for id := 2; id <= n; id++ {
+		if counts[id] < lo {
+			lo = counts[id]
+		}
+		if counts[id] > hi {
+			hi = counts[id]
+		}
+	}
+	if hi-lo < rounds/5 {
+		t.Errorf("desynced rotating scheme stayed fair (%v); expected skew", counts[1:])
+	}
+}
+
+func TestRotatingRegistryAndReset(t *testing.T) {
+	f, err := ByName("RotRR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f(6).(*RotatingRR)
+	p.Corrupt(1, 3)
+	p.Collisions = 5
+	p.Reset()
+	if p.Base(1) != 6 || p.Collisions != 0 {
+		t.Error("Reset incomplete")
+	}
+	if p.Name() != "RotRR" || p.N() != 6 {
+		t.Error("metadata wrong")
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"busarb/internal/rng"
+)
+
+func TestTicketFCFSOrder(t *testing.T) {
+	p := NewTicketFCFS(8)
+	d := newDriver(t, p)
+	d.requestAt(6, 1.0)
+	d.requestAt(2, 2.0)
+	d.requestAt(7, 3.0)
+	for _, want := range []int{6, 2, 7} {
+		if w := d.arbitrate(); w != want {
+			t.Fatalf("grant = %d, want %d (ticket order)", w, want)
+		}
+	}
+	if p.TicketCycles != 3 {
+		t.Errorf("TicketCycles = %d, want 3 (one dispense per request)", p.TicketCycles)
+	}
+}
+
+// The ticket scheme and FCFS2 implement the same policy; on histories
+// without simultaneous arrivals they must grant identically.
+func TestTicketMatchesFCFS2(t *testing.T) {
+	src := rng.New(55)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + src.Intn(16)
+		ops := randomHistory(src, n, 120)
+		// Strip simultaneous arrivals: FCFS2 ties by identity, the
+		// ticket dispenser by dispense order.
+		var filtered []op
+		lastT := -1.0
+		for _, o := range ops {
+			if o.arrive && o.time == lastT {
+				continue
+			}
+			filtered = append(filtered, o)
+			lastT = o.time
+		}
+		g1 := replay(t, NewTicketFCFS(n), filtered)
+		g2 := replay(t, NewFCFS2(n), filtered)
+		if !equalInts(g1, g2) {
+			t.Fatalf("trial %d (n=%d): Ticket %v != FCFS2 %v", trial, n, g1, g2)
+		}
+	}
+}
+
+func TestTicketWrapsSafely(t *testing.T) {
+	// Drive far past the modulus to exercise counter wrap: order must
+	// stay FCFS throughout.
+	n := 4
+	p := NewTicketFCFS(n) // modulus = 2^6 = 64
+	d := newDriver(t, p)
+	src := rng.New(56)
+	now := 0.0
+	var queue []int
+	for i := 0; i < 500; i++ {
+		now++
+		if src.Intn(2) == 0 {
+			id := 1 + src.Intn(n)
+			if !d.waiting[id] {
+				d.requestAt(id, now)
+				queue = append(queue, id)
+			}
+		} else if len(queue) > 0 {
+			w := d.arbitrate()
+			if w != queue[0] {
+				t.Fatalf("step %d: grant %d, oldest ticket holder %d", i, w, queue[0])
+			}
+			queue = queue[1:]
+		}
+	}
+	if p.TicketCycles < 100 {
+		t.Fatalf("only %d tickets dispensed; wrap not exercised", p.TicketCycles)
+	}
+}
+
+func TestTicketRegistryAndReset(t *testing.T) {
+	f, err := ByName("Ticket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f(6).(*TicketFCFS)
+	p.OnRequest(1, 0)
+	p.Reset()
+	if p.TicketCycles != 0 || p.next != 0 {
+		t.Error("Reset incomplete")
+	}
+	if p.Name() != "Ticket" || p.N() != 6 {
+		t.Error("metadata wrong")
+	}
+}

@@ -1,0 +1,462 @@
+// Package cyclesim is a cycle-level model of the arbitrated bus: the
+// protocols are implemented the way the paper's hardware would build
+// them — per-agent registers and comparators assembling arbitration
+// numbers that are resolved on real wired-OR lines by the Taub settle
+// process (package contention) — rather than as the abstract scheduling
+// rules of package core.
+//
+// Time advances in ticks of half a bus transaction: an arbitration takes
+// one tick (the paper's 0.5) and a transfer two. An arbitration is run
+// in the first tick of a transfer when the shared request line is high
+// (fully overlapped), or on an idle bus, where its tick is exposed.
+//
+// The package exists to cross-validate the two abstraction levels:
+// tests assert that for identical request histories the line-level
+// machines grant the bus in exactly the order the abstract protocols do.
+package cyclesim
+
+import (
+	"fmt"
+
+	"busarb/internal/contention"
+	"busarb/internal/ident"
+	"busarb/internal/wiredor"
+)
+
+// Kind selects which protocol the agents' controllers implement.
+type Kind int
+
+// The line-level protocol implementations.
+const (
+	FP Kind = iota
+	RR1
+	RR2
+	RR3
+	FCFS1
+	FCFS2
+	AAP1
+	AAP2
+)
+
+// String returns the protocol's name.
+func (k Kind) String() string {
+	switch k {
+	case FP:
+		return "FP"
+	case RR1:
+		return "RR1"
+	case RR2:
+		return "RR2"
+	case RR3:
+		return "RR3"
+	case FCFS1:
+		return "FCFS1"
+	case FCFS2:
+		return "FCFS2"
+	case AAP1:
+		return "AAP1"
+	case AAP2:
+		return "AAP2"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// agentCtl is the per-agent arbitration hardware: a handful of
+// registers and comparators, exactly the logic inventory §3 describes.
+type agentCtl struct {
+	kind Kind
+	id   int
+	n    int
+	lay  ident.Layout
+
+	wanting bool
+	// urgent marks the outstanding request as priority-class (§2.4);
+	// the agent asserts the priority line (the identity's MSB).
+	urgent bool
+	// lastWin is the RR protocols' winner register (each agent records
+	// the identity of the winner at the end of every arbitration).
+	lastWin int
+	// counter is the FCFS waiting-time counter.
+	counter int
+	// pending (AAP1): the agent has a request but found the request
+	// line high mid-batch, so it waits for the batch boundary before
+	// asserting.
+	pending bool
+	// inhibited (AAP2): served in the current batch; neither asserts
+	// the request line nor competes until a fairness release.
+	inhibited bool
+}
+
+// participates reports whether the agent applies its number in the next
+// arbitration given the low-request line state (RR2) — RR3 agents with
+// id >= lastWin, AAP1 pending agents, and AAP2 inhibited agents stay
+// silent.
+func (a *agentCtl) participates(lowRequest bool) bool {
+	if !a.wanting {
+		return false
+	}
+	switch a.kind {
+	case RR2:
+		return !lowRequest || a.id < a.lastWin
+	case RR3:
+		return a.id < a.lastWin
+	case AAP1:
+		return !a.pending
+	case AAP2:
+		return !a.inhibited
+	}
+	return true
+}
+
+// number assembles the agent's composite arbitration number from its
+// registers.
+func (a *agentCtl) number() uint64 {
+	num := ident.Number{Static: a.id}
+	if a.lay.PriorityBit {
+		num.Priority = a.urgent
+	}
+	switch a.kind {
+	case RR1:
+		num.RR = a.id < a.lastWin
+		if a.urgent {
+			// §3.1: urgent requests ignore the RR protocol by setting
+			// the round-robin priority bit.
+			num.RR = true
+		}
+	case FCFS1, FCFS2:
+		num.Counter = a.counter
+	}
+	return a.lay.Encode(num)
+}
+
+// observe runs at the end of every arbitration: all agents monitor the
+// winning number on the lines (§2.1).
+func (a *agentCtl) observe(win uint64, participated bool) {
+	switch a.kind {
+	case RR1, RR2:
+		// Record the winner's identity, excluding the RR priority bit.
+		a.lastWin = a.lay.Decode(win).Static
+	case RR3:
+		if win == 0 {
+			// Nobody participated: record N+1 (§3.1, third impl).
+			a.lastWin = a.n + 1
+		} else {
+			a.lastWin = a.lay.Decode(win).Static
+		}
+	case FCFS1:
+		if participated {
+			switch {
+			case a.lay.Decode(win).Static == a.id:
+				a.counter = 0
+			case a.lay.PriorityBit:
+				// With priority traffic the counter can overflow: this
+				// is the §3.2 "allow overflow" policy — the counter
+				// wraps modulo its field capacity.
+				a.counter = (a.counter + 1) % (1 << a.lay.CounterBits)
+			case a.counter < 1<<a.lay.CounterBits-1:
+				// Counter incremented by "lose", reset by "win" (§3.2).
+				// Saturating, like core.FCFS1; with one outstanding
+				// request per agent the bound N-1 is never reached.
+				a.counter++
+			}
+		}
+	}
+}
+
+// senseAIncr is the FCFS2 agents' reaction to a pulse on an a-incr
+// line. With the priority integration there are two lines (a-incr and
+// a-incr-priority, §3.2 third option): an agent counts only pulses of
+// its own class.
+func (a *agentCtl) senseAIncr(urgentPulse bool) {
+	if a.kind != FCFS2 || !a.wanting {
+		return
+	}
+	if a.lay.PriorityBit && urgentPulse != a.urgent {
+		return
+	}
+	if a.counter < 1<<a.lay.CounterBits-1 {
+		a.counter++
+	}
+}
+
+// Grant reports one bus mastership with its timing.
+type Grant struct {
+	Agent     int
+	StartTick int64
+}
+
+// Bus is the cycle-level arbitrated bus.
+type Bus struct {
+	kind   Kind
+	n      int
+	lay    ident.Layout
+	arb    *contention.Arbitration
+	breq   *wiredor.Line
+	lowreq *wiredor.Line // RR2 only
+	agents []*agentCtl
+
+	tick       int64
+	busyTicks  int  // remaining ticks of the current transfer
+	nextMaster int  // latched winner for the next transfer (0 = none)
+	arbNeeded  bool // an arbitration should run this tick
+	grants     []Grant
+	// SettleRounds accumulates the wired-OR settle rounds across all
+	// arbitrations, for overhead reporting.
+	SettleRounds int64
+	Arbitrations int64
+	EmptyPasses  int64
+}
+
+// New builds a line-level bus with n agents running the given protocol.
+func New(kind Kind, n int) *Bus { return build(kind, n, false) }
+
+// NewPriority builds a line-level bus with the §2.4 priority line: the
+// arbitration numbers gain a most-significant urgent bit, and agents
+// may issue urgent requests via RequestUrgent. Supported for FP, RR1,
+// FCFS1 (overflow counter policy), and FCFS2 (dual a-incr lines).
+func NewPriority(kind Kind, n int) *Bus {
+	switch kind {
+	case FP, RR1, FCFS1, FCFS2:
+		return build(kind, n, true)
+	}
+	panic(fmt.Sprintf("cyclesim: no priority integration for %v", kind))
+}
+
+func build(kind Kind, n int, priority bool) *Bus {
+	var lay ident.Layout
+	switch kind {
+	case FP, RR2, RR3, AAP1, AAP2:
+		lay = ident.LayoutFor(n)
+	case RR1:
+		lay = ident.Layout{StaticBits: ident.Width(n), RRBit: true}
+	case FCFS1, FCFS2:
+		lay = ident.Layout{StaticBits: ident.Width(n), CounterBits: ident.Width(n)}
+	default:
+		panic(fmt.Sprintf("cyclesim: unknown kind %d", kind))
+	}
+	lay.PriorityBit = priority
+	b := &Bus{
+		kind:   kind,
+		n:      n,
+		lay:    lay,
+		arb:    contention.New(lay.TotalBits(), n+1),
+		breq:   wiredor.NewLine("BREQ", n+1),
+		agents: make([]*agentCtl, n+1),
+	}
+	if kind == RR2 {
+		b.lowreq = wiredor.NewLine("LOWREQ", n+1)
+	}
+	for id := 1; id <= n; id++ {
+		b.agents[id] = &agentCtl{kind: kind, id: id, n: n, lay: lay}
+	}
+	return b
+}
+
+// Kind returns the bus's protocol.
+func (b *Bus) Kind() Kind { return b.kind }
+
+// Tick returns the current tick count.
+func (b *Bus) Tick() int64 { return b.tick }
+
+// Grants returns all bus masterships granted so far, in order.
+func (b *Bus) Grants() []Grant { return b.grants }
+
+// GrantOrder returns just the agent identities of all grants.
+func (b *Bus) GrantOrder() []int {
+	out := make([]int, len(b.grants))
+	for i, g := range b.grants {
+		out[i] = g.Agent
+	}
+	return out
+}
+
+// Request makes agent id generate a bus request (it must not already be
+// waiting). Most protocols assert the shared request line immediately;
+// an AAP1 agent finding the line high waits for the batch boundary, and
+// an inhibited AAP2 agent stays silent until the fairness release. On
+// FCFS2 buses the new request pulses the a-incr line, which every
+// waiting agent senses (§3.2, second strategy).
+func (b *Bus) Request(id int) { b.requestClass(id, false) }
+
+// RequestUrgent issues a priority-class request (§2.4); the bus must
+// have been built with NewPriority.
+func (b *Bus) RequestUrgent(id int) {
+	if !b.lay.PriorityBit {
+		panic("cyclesim: bus has no priority line; use NewPriority")
+	}
+	b.requestClass(id, true)
+}
+
+func (b *Bus) requestClass(id int, urgent bool) {
+	a := b.agents[id]
+	if a.wanting {
+		panic(fmt.Sprintf("cyclesim: agent %d already requesting", id))
+	}
+	a.wanting = true
+	a.urgent = urgent
+	a.counter = 0
+	switch b.kind {
+	case AAP1:
+		if b.breq.Value() {
+			a.pending = true
+		} else {
+			b.breq.Set(id, true)
+		}
+	case AAP2:
+		if !a.inhibited {
+			b.breq.Set(id, true)
+		}
+	case FCFS2:
+		b.breq.Set(id, true)
+		for other := 1; other <= b.n; other++ {
+			if other != id {
+				b.agents[other].senseAIncr(urgent)
+			}
+		}
+	default:
+		b.breq.Set(id, true)
+	}
+}
+
+// Waiting reports whether agent id has an outstanding request.
+func (b *Bus) Waiting(id int) bool { return b.agents[id].wanting }
+
+// Step advances the bus by one tick (half a transaction time) and
+// returns the grant that started this tick, if any.
+func (b *Bus) Step() *Grant {
+	var granted *Grant
+	// A latched winner takes mastership when the bus frees.
+	if b.busyTicks == 0 && b.nextMaster != 0 {
+		granted = b.startTransfer(b.nextMaster)
+		b.nextMaster = 0
+	}
+	// Run an arbitration when the request line is high and either the
+	// bus just started a transfer (overlap window) or it is idle. On an
+	// AAP2 bus, an arbitration opportunity with the request line low
+	// while agents hold (inhibited) requests is the fairness release:
+	// all inhibit flags clear and the held requests assert.
+	if b.nextMaster == 0 {
+		opportunity := b.busyTicks == 2 || b.busyTicks == 0 || b.arbNeeded
+		if opportunity && b.kind == AAP2 && !b.breq.Value() {
+			b.fairnessRelease()
+		}
+		if opportunity && b.breq.Value() {
+			b.runArbitration()
+		}
+	}
+	if b.busyTicks > 0 {
+		b.busyTicks--
+	}
+	b.tick++
+	return granted
+}
+
+// startTransfer begins agent id's bus tenure: it releases the request
+// line (and stops wanting).
+func (b *Bus) startTransfer(id int) *Grant {
+	a := b.agents[id]
+	if !a.wanting {
+		panic(fmt.Sprintf("cyclesim: granting non-waiting agent %d", id))
+	}
+	a.wanting = false
+	a.urgent = false
+	b.breq.Set(id, false)
+	if b.lowreq != nil {
+		b.lowreq.Set(id, false)
+	}
+	switch b.kind {
+	case AAP1:
+		// Each batch member releases the request line at the start of
+		// its tenure; when the line drops, the batch is over and every
+		// pending request asserts, forming the next batch (§2.2).
+		if !b.breq.Value() {
+			for other := 1; other <= b.n; other++ {
+				oa := b.agents[other]
+				if oa.pending {
+					oa.pending = false
+					b.breq.Set(other, true)
+				}
+			}
+		}
+	case AAP2:
+		a.inhibited = true
+	}
+	b.busyTicks = 2
+	g := Grant{Agent: id, StartTick: b.tick}
+	b.grants = append(b.grants, g)
+	return &b.grants[len(b.grants)-1]
+}
+
+// fairnessRelease clears every AAP2 inhibit flag; held requests assert
+// the request line.
+func (b *Bus) fairnessRelease() {
+	for id := 1; id <= b.n; id++ {
+		a := b.agents[id]
+		a.inhibited = false
+		if a.wanting {
+			b.breq.Set(id, true)
+		}
+	}
+}
+
+// runArbitration performs one arbitration pass on the wired-OR lines.
+func (b *Bus) runArbitration() {
+	lowRequest := false
+	if b.lowreq != nil {
+		// RR2: each requesting agent's comparator drives the shared
+		// low-request line when its identity is below the recorded
+		// winner's; the wired-OR of those drives gates participation.
+		for id := 1; id <= b.n; id++ {
+			a := b.agents[id]
+			b.lowreq.Set(id, a.wanting && a.id < a.lastWin)
+		}
+		lowRequest = b.lowreq.Value()
+	}
+	var comps []contention.Competitor
+	for id := 1; id <= b.n; id++ {
+		if b.agents[id].participates(lowRequest) {
+			comps = append(comps, contention.Competitor{Agent: id, Number: b.agents[id].number()})
+		}
+	}
+	res := b.arb.Run(comps)
+	b.SettleRounds += int64(res.Rounds)
+	b.Arbitrations++
+	participated := make(map[int]bool, len(comps))
+	for _, c := range comps {
+		participated[c.Agent] = true
+	}
+	for id := 1; id <= b.n; id++ {
+		b.agents[id].observe(res.WinningNumber, participated[id])
+	}
+	if res.Winner < 0 || res.WinningNumber == 0 {
+		// Empty pass (RR3): all agents recorded N+1; rerun next tick.
+		b.EmptyPasses++
+		b.arbNeeded = true
+		return
+	}
+	b.arbNeeded = false
+	b.nextMaster = comps[res.Winner].Agent
+}
+
+// anyWanting reports whether any agent holds an outstanding request
+// (asserting the request line or not).
+func (b *Bus) anyWanting() bool {
+	for id := 1; id <= b.n; id++ {
+		if b.agents[id].wanting {
+			return true
+		}
+	}
+	return false
+}
+
+// RunUntilIdle steps the bus until no requests are outstanding and no
+// transfer is in progress, with a safety bound.
+func (b *Bus) RunUntilIdle(maxTicks int64) error {
+	for i := int64(0); i < maxTicks; i++ {
+		b.Step()
+		if b.busyTicks == 0 && b.nextMaster == 0 && !b.anyWanting() && !b.arbNeeded {
+			return nil
+		}
+	}
+	return fmt.Errorf("cyclesim: bus not idle after %d ticks", maxTicks)
+}

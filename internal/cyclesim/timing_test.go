@@ -1,0 +1,89 @@
+package cyclesim
+
+import (
+	"math"
+	"testing"
+
+	"busarb/internal/bussim"
+	"busarb/internal/core"
+	"busarb/internal/dist"
+	"busarb/internal/rng"
+)
+
+// TestTimingMatchesQueueingModel validates the two simulators against
+// each other numerically, not just in grant order: a cycle-level bus
+// fed Bernoulli arrivals (probability p per tick per idle agent) must
+// produce the same mean residence time as the continuous queueing
+// model with the equivalent think-time distribution (geometric with
+// mean 1/p ticks ≈ exponential with mean 0.5/p time units; at small p
+// the CVs coincide).
+func TestTimingMatchesQueueingModel(t *testing.T) {
+	const (
+		n = 8
+		p = 0.05 // per-tick request probability; mean think = 10 ticks
+	)
+	src := rng.New(91)
+	bus := New(RR1, n)
+	reqTick := make([]int64, n+1)
+	var waits []float64
+	idle := make([]bool, n+1)
+	for id := 1; id <= n; id++ {
+		idle[id] = true
+	}
+	const ticks = 400000
+	for tick := int64(0); tick < ticks; tick++ {
+		for id := 1; id <= n; id++ {
+			if idle[id] && src.Float64() < p {
+				idle[id] = false
+				reqTick[id] = tick
+				bus.Request(id)
+			}
+		}
+		if g := bus.Step(); g != nil {
+			// Completion is two ticks after the grant; residence in
+			// continuous time units is half the tick count.
+			w := float64(g.StartTick+2-reqTick[g.Agent]) / 2
+			waits = append(waits, w)
+			idle[g.Agent] = true
+		}
+	}
+	sum := 0.0
+	// Discard a warm-up prefix.
+	warm := len(waits) / 10
+	for _, w := range waits[warm:] {
+		sum += w
+	}
+	cycleW := sum / float64(len(waits)-warm)
+
+	// The equivalent continuous model: geometric think with mean 1/p
+	// ticks = 10 ticks = 5.0 time units.
+	rr, _ := core.ByName("RR1")
+	res := bussim.Run(bussim.Config{
+		N:        n,
+		Protocol: rr,
+		Inter:    replicateSampler(dist.Exponential{MeanValue: 0.5 / p}, n),
+		Seed:     92,
+		Batches:  8, BatchSize: 4000,
+		// The cycle-level bus arbitrates only at transaction boundaries
+		// or on an idle bus; run the continuous model under the same
+		// discipline so the comparison isolates the discretization.
+		BoundaryArbOnly: true,
+	})
+	contW := res.WaitMean.Mean
+
+	if rel := math.Abs(cycleW-contW) / contW; rel > 0.10 {
+		t.Errorf("cycle-level W = %.3f vs queueing-level W = %.3f (%.1f%% apart)",
+			cycleW, contW, 100*rel)
+	} else {
+		t.Logf("cycle-level W = %.3f, queueing-level W = %.3f (%.1f%% apart, %d grants)",
+			cycleW, contW, 100*math.Abs(cycleW-contW)/contW, len(waits))
+	}
+}
+
+func replicateSampler(d dist.Sampler, n int) []dist.Sampler {
+	out := make([]dist.Sampler, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}

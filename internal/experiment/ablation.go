@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"busarb/internal/bussim"
+	"busarb/internal/core"
+	"busarb/internal/ident"
+	"busarb/internal/stats"
+	"busarb/internal/workload"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. These go
+// beyond the paper's tables: they quantify statements the paper makes in
+// passing ("fewer bits should implement nearly ideal FCFS when the bus
+// is not saturated", RR3 is "somewhat less efficient", the §5 hybrid).
+
+// CounterBitsRow measures the simple FCFS implementation with a reduced
+// waiting-time-counter width.
+type CounterBitsRow struct {
+	Bits     int
+	Ratio    stats.Estimate // t_N / t_1 unfairness
+	WaitSD   stats.Estimate // waiting-time σ (FCFS-ness indicator)
+	WaitMean stats.Estimate
+}
+
+// AblationCounterBits sweeps the FCFS1 counter width from 1 bit to the
+// full ceil(log2 N) at the given load (§3.2's size/accuracy trade-off).
+func AblationCounterBits(n int, load float64, o Opts) []CounterBitsRow {
+	o = o.fill()
+	full := ident.Width(n)
+	rows := make([]CounterBitsRow, 0, full)
+	for bits := 1; bits <= full; bits++ {
+		bits := bits
+		sc := workload.Equal(n, load, 1.0)
+		r := run(sc, func(m int) core.Protocol { return core.NewFCFS1Bits(m, bits) }, o, false)
+		rows = append(rows, CounterBitsRow{
+			Bits:     bits,
+			Ratio:    r.ThroughputRatio(n, 1),
+			WaitSD:   r.WaitStdDev,
+			WaitMean: r.WaitMean,
+		})
+	}
+	return rows
+}
+
+// HybridRow compares a protocol's fairness and waiting-time variance at
+// one load.
+type HybridRow struct {
+	Protocol string
+	Ratio    stats.Estimate
+	WaitSD   stats.Estimate
+}
+
+// AblationHybrid compares the §5 hybrid against pure RR and pure FCFS:
+// the hybrid should combine FCFS's low variance with RR's fairness on
+// simultaneous arrivals.
+func AblationHybrid(n int, load float64, o Opts) []HybridRow {
+	o = o.fill()
+	sc := workload.Equal(n, load, 1.0)
+	var rows []HybridRow
+	for _, f := range []core.Factory{protoRR, protoFCFS2,
+		func(m int) core.Protocol { return core.NewHybrid(m) }} {
+		r := run(sc, f, o, false)
+		rows = append(rows, HybridRow{
+			Protocol: r.ProtocolName,
+			Ratio:    r.ThroughputRatio(n, 1),
+			WaitSD:   r.WaitStdDev,
+		})
+	}
+	return rows
+}
+
+// RR3CostRow quantifies the efficiency loss of RR3's empty passes.
+type RR3CostRow struct {
+	Load             float64
+	WaitRR1          float64
+	WaitRR3          float64
+	RepassesPerGrant float64
+}
+
+// AblationRR3 measures RR3's extra arbitration passes and their waiting
+// time cost against RR1 across the load grid.
+func AblationRR3(n int, o Opts) []RR3CostRow {
+	o = o.fill()
+	rows := make([]RR3CostRow, 0, len(PaperLoads))
+	for _, load := range PaperLoads {
+		sc := workload.Equal(n, load, 1.0)
+		r1 := run(sc, protoRR, o, false)
+		r3 := run(sc, func(m int) core.Protocol { return core.NewRR3(m) }, o, false)
+		rows = append(rows, RR3CostRow{
+			Load:             load,
+			WaitRR1:          r1.WaitMean.Mean,
+			WaitRR3:          r3.WaitMean.Mean,
+			RepassesPerGrant: float64(r3.Repasses) / float64(r3.Completions),
+		})
+	}
+	return rows
+}
+
+// SnapshotRow compares request-line snapshot arbitration against the
+// late-join ablation.
+type SnapshotRow struct {
+	Load         float64
+	WaitSnapshot float64
+	WaitLateJoin float64
+}
+
+// AblationSnapshot measures the effect of letting requests join an
+// in-flight arbitration (LateJoin) under FCFS1, where joining late can
+// only help the newly arrived request.
+func AblationSnapshot(n int, o Opts) []SnapshotRow {
+	o = o.fill()
+	rows := make([]SnapshotRow, 0, len(PaperLoads))
+	for _, load := range PaperLoads {
+		sc := workload.Equal(n, load, 1.0)
+		mk := func(late bool) *bussim.Result {
+			cfg := bussim.Config{
+				Protocol:  protoFCFS1,
+				Seed:      o.Seed,
+				Batches:   o.Batches,
+				BatchSize: o.BatchSize,
+				LateJoin:  late,
+			}
+			sc.Apply(&cfg)
+			return bussim.Run(cfg)
+		}
+		rows = append(rows, SnapshotRow{
+			Load:         load,
+			WaitSnapshot: mk(false).WaitMean.Mean,
+			WaitLateJoin: mk(true).WaitMean.Mean,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"busarb/internal/analytic"
+	"busarb/internal/ident"
+)
+
+// The paper's thesis (§1, §5) is that the proposed protocols have "a
+// better combination of efficiency, cost, and fairness characteristics"
+// than existing arbiters. CostTable assembles that comparison for a
+// given system size: bus lines beyond the basic arbiter, arbitration
+// delay (proportional to the identity width under Taub's k/2 bound),
+// per-agent logic, and the verified fairness bound.
+
+// CostRow summarizes one protocol's implementation cost.
+type CostRow struct {
+	Protocol string
+	// ExtraLines is the count of bus lines beyond the basic parallel
+	// contention arbiter's ceil(log2(N+1)) arbitration lines.
+	ExtraLines int
+	// IdentityBits is the full arbitration-number width, which sets the
+	// arbitration delay under the k/2 settle bound.
+	IdentityBits int
+	// SettleBound is Taub's bound in end-to-end propagation delays.
+	SettleBound float64
+	// Logic sketches the per-agent hardware beyond the arbiter itself.
+	Logic string
+	// FairnessBound is the proven bypass bound for a continuously
+	// waiting agent (N = agents); "unbounded" marks starvation-prone
+	// protocols. See internal/verify for the exhaustive proofs.
+	FairnessBound string
+}
+
+// CostTable builds the §1/§3/§5 cost-and-fairness comparison for n
+// agents.
+func CostTable(n int) []CostRow {
+	k := ident.Width(n)
+	row := func(proto string, extra, bits int, logic, fair string) CostRow {
+		return CostRow{
+			Protocol:      proto,
+			ExtraLines:    extra,
+			IdentityBits:  bits,
+			SettleBound:   analytic.TaubSettleBound(bits),
+			Logic:         logic,
+			FairnessBound: fair,
+		}
+	}
+	return []CostRow{
+		row("FP", 0, k, "none", "unbounded (starves low identities)"),
+		row("AAP1", 0, k, "batch flag, request-line edge detect", "2(N-1)"),
+		row("AAP2", 0, k, "inhibit flag, release detect", "2(N-1)"),
+		row("RR1", 1, k+1, "winner register + comparator", "N-1"),
+		row("RR2", 1, k, "winner register + comparator, low-request line", "N-1"),
+		row("RR3", 0, k, "winner register + comparator; occasional empty pass", "N-1"),
+		row("FCFS1", k, 2*k, "modulo-N counter (count on lose, clear on win)", "N-1"),
+		row("FCFS2", k+1, 2*k, "counter + a-incr pulse logic", "N-1"),
+		row("Ticket", 2*k, 3*k, "shared ticket dispenser; one extra bus operation per request", "N-1"),
+		row("RotRR", 0, k, "rotation base register; no ground truth on the lines (fragile)", "N-1 (healthy only)"),
+	}
+}
+
+// FormatCostTable renders the comparison.
+func FormatCostTable(n int, rows []CostRow) string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Protocol cost and fairness comparison (%d agents, k = %d lines)", n, ident.Width(n)))
+	b.WriteString("  Proto   +lines  id bits  settle   fairness bound\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-6s  %6d  %7d  %5.1fT   %s\n",
+			r.Protocol, r.ExtraLines, r.IdentityBits, r.SettleBound, r.FairnessBound)
+	}
+	b.WriteString("\n  (settle in end-to-end bus propagation delays T, Taub's k/2 bound;\n")
+	b.WriteString("   per-agent logic: ")
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: %s", r.Protocol, r.Logic)
+	}
+	b.WriteString(")\n")
+	return b.String()
+}

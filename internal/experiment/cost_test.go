@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCostTable(t *testing.T) {
+	rows := CostTable(30) // k = 5
+	byName := map[string]CostRow{}
+	for _, r := range rows {
+		byName[r.Protocol] = r
+	}
+	// §3.1: RR1 needs one extra line; its identity is k+1 bits.
+	if r := byName["RR1"]; r.ExtraLines != 1 || r.IdentityBits != 6 {
+		t.Errorf("RR1 = %+v", r)
+	}
+	// §3.1: RR3 needs no extra line.
+	if r := byName["RR3"]; r.ExtraLines != 0 {
+		t.Errorf("RR3 = %+v", r)
+	}
+	// §3.2: FCFS "at most doubles" the identity size.
+	if r := byName["FCFS1"]; r.IdentityBits != 10 || r.ExtraLines != 5 {
+		t.Errorf("FCFS1 = %+v", r)
+	}
+	// FCFS2 additionally needs the a-incr line.
+	if r := byName["FCFS2"]; r.ExtraLines != 6 {
+		t.Errorf("FCFS2 = %+v", r)
+	}
+	// The assured access protocols add no lines but have the weaker
+	// fairness bound.
+	if r := byName["AAP1"]; r.ExtraLines != 0 || !strings.Contains(r.FairnessBound, "2(N-1)") {
+		t.Errorf("AAP1 = %+v", r)
+	}
+	if r := byName["FP"]; !strings.Contains(r.FairnessBound, "unbounded") {
+		t.Errorf("FP = %+v", r)
+	}
+	// Settle bound scales with identity width: FCFS pays double.
+	if byName["FCFS1"].SettleBound != 2*byName["RR3"].SettleBound {
+		t.Errorf("settle: FCFS1 %v vs RR3 %v", byName["FCFS1"].SettleBound, byName["RR3"].SettleBound)
+	}
+}
+
+func TestFormatCostTable(t *testing.T) {
+	out := FormatCostTable(30, CostTable(30))
+	for _, want := range []string{"Proto", "RR1", "FCFS2", "settle", "unbounded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

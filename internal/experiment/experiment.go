@@ -1,0 +1,369 @@
+// Package experiment regenerates every table and figure in the paper's
+// evaluation section (§4): each Table/Figure function runs the required
+// simulations and returns structured rows; the Format functions render
+// them in the paper's layout. The cmd/paper binary and the repository's
+// benchmark suite are thin wrappers around this package.
+package experiment
+
+import (
+	"math"
+	"sync"
+
+	"busarb/internal/bussim"
+	"busarb/internal/core"
+	"busarb/internal/stats"
+	"busarb/internal/workload"
+)
+
+// Opts configures the statistical effort of an experiment run.
+type Opts struct {
+	// Batches and BatchSize control the batch-means analysis. Zero
+	// values mean the paper's 10 × 8000. Benchmarks pass smaller sizes.
+	Batches   int
+	BatchSize int
+	// Seed selects the random streams (default 1988, the paper's year).
+	Seed uint64
+	// Parallel runs the independent simulations of a table across this
+	// many goroutines (0 or 1 = sequential). Results are identical
+	// regardless: every run is seeded independently.
+	Parallel int
+}
+
+func (o Opts) fill() Opts {
+	if o.Batches == 0 {
+		o.Batches = 10
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 8000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1988
+	}
+	if o.Parallel < 1 {
+		o.Parallel = 1
+	}
+	return o
+}
+
+// forEach runs fn(i) for i in [0, n), using o.Parallel workers. Each fn
+// writes only to its own index, so no synchronization beyond the wait is
+// needed.
+func (o Opts) forEach(n int, fn func(i int)) {
+	if o.Parallel <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Parallel)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// PaperLoads is the offered-load grid used throughout §4.
+var PaperLoads = []float64{0.25, 0.50, 1.00, 1.50, 2.00, 2.50, 5.00, 7.50}
+
+// PaperSizes is the set of system sizes used throughout §4.
+var PaperSizes = []int{10, 30, 64}
+
+// protoRR is the RR implementation used for the performance tables (all
+// three give identical schedules; RR1 is the paper's primary proposal).
+func protoRR(n int) core.Protocol { return core.NewRR1(n) }
+
+// protoFCFS1 is the simple FCFS implementation whose residual unfairness
+// Table 4.1 quantifies.
+func protoFCFS1(n int) core.Protocol { return core.NewFCFS1(n) }
+
+// protoFCFS2 is the accurate (a-incr) FCFS implementation used where the
+// paper studies "the FCFS protocol" proper (Tables 4.2–4.4, Figure 4.1).
+func protoFCFS2(n int) core.Protocol { return core.NewFCFS2(n) }
+
+func protoAAP1(n int) core.Protocol { return core.NewAAP1(n) }
+
+func run(sc workload.Scenario, proto core.Factory, o Opts, collect bool) *bussim.Result {
+	cfg := bussim.Config{
+		Protocol:     proto,
+		Seed:         o.Seed,
+		Batches:      o.Batches,
+		BatchSize:    o.BatchSize,
+		CollectWaits: collect,
+	}
+	sc.Apply(&cfg)
+	return bussim.Run(cfg)
+}
+
+// ---------------------------------------------------------------------
+// Table 4.1: Allocation of bus bandwidth among agents with equal
+// request rates — ratio of the highest-identity agent's throughput to
+// the lowest-identity agent's, for RR and the simple FCFS; the 30-agent
+// variant adds the first assured access protocol for comparison.
+
+// Table41Row is one load point of Table 4.1.
+type Table41Row struct {
+	Load      float64         // total offered load
+	Lambda    float64         // measured total throughput (bus utilization)
+	RatioRR   stats.Estimate  // t_N / t_1 under RR
+	RatioFCFS stats.Estimate  // t_N / t_1 under simple FCFS
+	RatioAAP  *stats.Estimate // t_N / t_1 under AAP1 (n=30 only in the paper)
+}
+
+// Table41 reproduces Table 4.1 for the given system size. includeAAP
+// adds the assured-access column the paper shows for 30 agents.
+func Table41(n int, includeAAP bool, o Opts) []Table41Row {
+	o = o.fill()
+	rows := make([]Table41Row, len(PaperLoads))
+	o.forEach(len(PaperLoads), func(i int) {
+		load := PaperLoads[i]
+		sc := workload.Equal(n, load, 1.0)
+		rr := run(sc, protoRR, o, false)
+		fc := run(sc, protoFCFS1, o, false)
+		row := Table41Row{
+			Load:      load,
+			Lambda:    rr.Throughput.Mean,
+			RatioRR:   rr.ThroughputRatio(n, 1),
+			RatioFCFS: fc.ThroughputRatio(n, 1),
+		}
+		if includeAAP {
+			aap := run(sc, protoAAP1, o, false)
+			r := aap.ThroughputRatio(n, 1)
+			row.RatioAAP = &r
+		}
+		rows[i] = row
+	})
+	return rows
+}
+
+// ---------------------------------------------------------------------
+// Table 4.2: Standard deviation of the waiting time for FCFS and RR.
+
+// Table42Row is one load point of Table 4.2.
+type Table42Row struct {
+	Load    float64
+	W       float64        // mean waiting (residence) time — equal for both
+	SDFCFS  stats.Estimate // σ_W under FCFS
+	SDRR    stats.Estimate // σ_W under RR
+	SDRatio stats.Estimate // σ_RR / σ_FCFS
+}
+
+// Table42 reproduces Table 4.2 for the given system size.
+func Table42(n int, o Opts) []Table42Row {
+	o = o.fill()
+	rows := make([]Table42Row, len(PaperLoads))
+	o.forEach(len(PaperLoads), func(i int) {
+		load := PaperLoads[i]
+		sc := workload.Equal(n, load, 1.0)
+		rr := run(sc, protoRR, o, false)
+		fc := run(sc, protoFCFS2, o, false)
+		rows[i] = Table42Row{
+			Load:   load,
+			W:      rr.WaitMean.Mean,
+			SDFCFS: fc.WaitStdDev,
+			SDRR:   rr.WaitStdDev,
+			SDRatio: stats.Estimate{
+				Mean:     rr.WaitStdDev.Mean / fc.WaitStdDev.Mean,
+				HalfW:    ratioHalfWidth(rr.WaitStdDev, fc.WaitStdDev),
+				NBatches: rr.WaitStdDev.NBatches,
+			},
+		}
+	})
+	return rows
+}
+
+// ratioHalfWidth propagates CI half-widths through a ratio via the
+// first-order delta method.
+func ratioHalfWidth(num, den stats.Estimate) float64 {
+	if den.Mean == 0 {
+		return math.NaN()
+	}
+	r := num.Mean / den.Mean
+	a := num.HalfW / num.Mean
+	b := den.HalfW / den.Mean
+	return math.Abs(r) * math.Sqrt(a*a+b*b)
+}
+
+// ---------------------------------------------------------------------
+// Figure 4.1: CDF of the bus waiting time for RR and FCFS
+// (30 agents, load 1.5).
+
+// FigurePoint is one x of Figure 4.1 with both protocols' CDF values.
+type FigurePoint struct {
+	X    float64
+	RR   float64
+	FCFS float64
+}
+
+// Figure41Result carries the two waiting-time CDFs and their means.
+type Figure41Result struct {
+	N      int
+	Load   float64
+	W      float64 // common mean waiting time
+	Points []FigurePoint
+}
+
+// Figure41 reproduces Figure 4.1: the waiting-time CDFs of RR and FCFS
+// for n agents at the given load (the paper uses n=30, load=1.5).
+func Figure41(n int, load float64, o Opts) Figure41Result {
+	o = o.fill()
+	sc := workload.Equal(n, load, 1.0)
+	rr := run(sc, protoRR, o, true)
+	fc := run(sc, protoFCFS2, o, true)
+	maxX := rr.WaitPooled.Mean() * 3
+	step := maxX / 60
+	res := Figure41Result{N: n, Load: load, W: rr.WaitPooled.Mean()}
+	for x := step; x <= maxX+1e-9; x += step {
+		res.Points = append(res.Points, FigurePoint{
+			X:    x,
+			RR:   rr.Waits.P(x),
+			FCFS: fc.Waits.P(x),
+		})
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------
+// Table 4.3: Performance comparison for execution overlapped with bus
+// waiting times. The overlap value is the minimum integer x at which
+// CDF_RR(x) < CDF_FCFS(x); the overlapped execution per request is
+// min(overlap, waiting time); productivity is the mean time spent
+// executing productively between bus requests over the mean time
+// between bus requests.
+
+// Table43Row is one load point of Table 4.3.
+type Table43Row struct {
+	Load     float64
+	W        float64 // total mean waiting time (including overlapped execution)
+	WNetRR   float64 // mean bus waiting after subtracting overlapped execution, RR
+	WNetFCFS float64 // same, FCFS
+	ProdRR   float64
+	ProdFCFS float64
+	Overlap  float64
+}
+
+// Table43 reproduces Table 4.3 for the given system size.
+func Table43(n int, o Opts) []Table43Row {
+	o = o.fill()
+	rows := make([]Table43Row, len(PaperLoads))
+	o.forEach(len(PaperLoads), func(i int) {
+		load := PaperLoads[i]
+		sc := workload.Equal(n, load, 1.0)
+		rr := run(sc, protoRR, o, true)
+		fc := run(sc, protoFCFS2, o, true)
+		ov := overlapValue(rr.Waits, fc.Waits)
+		inter := rr.MeanInter
+		wRR, wFC := rr.Waits.Mean(), fc.Waits.Mean()
+		ovRR, ovFC := rr.Waits.MeanMin(ov), fc.Waits.MeanMin(ov)
+		rows[i] = Table43Row{
+			Load:     load,
+			W:        wRR,
+			WNetRR:   wRR - ovRR,
+			WNetFCFS: wFC - ovFC,
+			ProdRR:   (inter + ovRR) / (inter + wRR),
+			ProdFCFS: (inter + ovFC) / (inter + wFC),
+			Overlap:  ov,
+		}
+	})
+	return rows
+}
+
+// overlapValue finds the minimum integer x >= 1 at which the RR CDF lies
+// below the FCFS CDF — the paper's choice of execution overlap that
+// maximizes FCFS's advantage. The gap must exceed a small threshold so
+// that sampling noise in the near-empty lower tail (where both CDFs are
+// ~0) cannot produce a spurious low crossing; the genuine crossing sits
+// just above the mean waiting time, matching the paper's overlap
+// columns (≈ W+1 at high load). Returns the waiting-time mean's ceiling
+// if no crossing exists within 3x the mean (degenerate extreme loads).
+func overlapValue(rr, fcfs *stats.ECDF) float64 {
+	const gap = 0.01
+	limit := int(math.Ceil(rr.Mean()*3)) + 2
+	for x := 1; x <= limit; x++ {
+		fx := float64(x)
+		if fcfs.P(fx)-rr.P(fx) > gap {
+			return fx
+		}
+	}
+	return math.Ceil(rr.Mean())
+}
+
+// ---------------------------------------------------------------------
+// Table 4.4: Allocation of bus bandwidth among agents with unequal
+// loads: agent 1 offers `factor` times the load of each other agent.
+
+// Table44Row is one load point of Table 4.4.
+type Table44Row struct {
+	Load      float64 // total offered load (the paper's first column)
+	Lambda    float64 // bus utilization
+	LoadRatio float64 // Load_1 / Load_2 = factor
+	RatioRR   stats.Estimate
+	RatioFCFS stats.Estimate
+}
+
+// Table44 reproduces Table 4.4 for 30 agents with the given rate factor
+// (2 for Table 4.4(a), 4 for 4.4(b)).
+func Table44(n int, factor float64, o Opts) []Table44Row {
+	o = o.fill()
+	var feasible []float64
+	for _, base := range PaperLoads {
+		// Skip grid points where the scaled agent alone would exceed
+		// unit offered load (cannot happen for the paper's n=30).
+		if factor*base/float64(n) < 1 {
+			feasible = append(feasible, base)
+		}
+	}
+	rows := make([]Table44Row, len(feasible))
+	o.forEach(len(feasible), func(i int) {
+		sc := workload.OneScaled(n, feasible[i], factor, 1.0)
+		rr := run(sc, protoRR, o, false)
+		fc := run(sc, protoFCFS2, o, false)
+		rows[i] = Table44Row{
+			Load:      sc.TotalLoad,
+			Lambda:    rr.Throughput.Mean,
+			LoadRatio: factor,
+			RatioRR:   rr.ThroughputRatio(1, 2),
+			RatioFCFS: fc.ThroughputRatio(1, 2),
+		}
+	})
+	return rows
+}
+
+// ---------------------------------------------------------------------
+// Table 4.5: Worst-case bus allocation for RR — the "just miss"
+// scenario, swept over the interrequest-time coefficient of variation.
+
+// PaperCVs is the CV sweep of Table 4.5.
+var PaperCVs = []float64{0.0, 0.10, 0.25, 0.33, 0.50, 1.00}
+
+// Table45Row is one CV point of Table 4.5.
+type Table45Row struct {
+	CV        float64
+	LoadRatio float64        // Load_slow / Load_other
+	Ratio     stats.Estimate // t_slow / t_other under RR
+}
+
+// Table45 reproduces Table 4.5 for the given system size.
+func Table45(n int, o Opts) []Table45Row {
+	o = o.fill()
+	rows := make([]Table45Row, len(PaperCVs))
+	o.forEach(len(PaperCVs), func(i int) {
+		sc := workload.WorstCaseRR(n, PaperCVs[i])
+		rr := run(sc, protoRR, o, false)
+		// Throughput ratio of the slow agent (id 1) to a representative
+		// regular agent (id 2).
+		rows[i] = Table45Row{
+			CV:        PaperCVs[i],
+			LoadRatio: workload.LoadRatioWorstCase(n),
+			Ratio:     rr.ThroughputRatio(1, 2),
+		}
+	})
+	return rows
+}

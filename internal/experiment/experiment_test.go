@@ -1,0 +1,339 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quick is a reduced statistical effort for tests; shapes remain stable.
+var quick = Opts{Batches: 10, BatchSize: 1500, Seed: 1988}
+
+func TestTable41Shape(t *testing.T) {
+	rows := Table41(10, false, quick)
+	if len(rows) != len(PaperLoads) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// RR perfectly fair at every load.
+		if math.Abs(r.RatioRR.Mean-1.0) > 0.08 {
+			t.Errorf("load %v: RR ratio %s, want ~1", r.Load, r.RatioRR)
+		}
+		if r.RatioAAP != nil {
+			t.Error("AAP column requested off")
+		}
+	}
+	// FCFS1 unfairness peaks near saturation (paper: 1.08-1.09 at load
+	// 1.5-2.5) and is small at the extremes.
+	peak := 0.0
+	for _, r := range rows {
+		if r.Load >= 1.5 && r.Load <= 2.5 && r.RatioFCFS.Mean > peak {
+			peak = r.RatioFCFS.Mean
+		}
+	}
+	if peak < 1.03 || peak > 1.15 {
+		t.Errorf("FCFS peak unfairness = %v, paper ~1.08", peak)
+	}
+	if last := rows[len(rows)-1].RatioFCFS.Mean; last > 1.05 {
+		t.Errorf("FCFS ratio at extreme load = %v, paper 1.01", last)
+	}
+}
+
+func TestTable41AAPColumn(t *testing.T) {
+	rows := Table41(30, true, Opts{Batches: 10, BatchSize: 1000, Seed: 3})
+	if rows[0].RatioAAP == nil {
+		t.Fatal("AAP column missing")
+	}
+	// Paper Table 4.1(b): AAP ratio climbs toward ~2 at the highest load.
+	last := rows[len(rows)-1].RatioAAP.Mean
+	if last < 1.7 {
+		t.Errorf("AAP ratio at load 7.5 = %v, paper 1.99", last)
+	}
+	first := rows[0].RatioAAP.Mean
+	if math.Abs(first-1.0) > 0.15 {
+		t.Errorf("AAP ratio at load 0.25 = %v, paper ~0.98", first)
+	}
+}
+
+func TestTable42Shape(t *testing.T) {
+	rows := Table42(10, quick)
+	for _, r := range rows {
+		if r.SDRatio.Mean < 0.85 {
+			t.Errorf("load %v: σRR/σFCFS = %v < 1 (FCFS minimizes variance)", r.Load, r.SDRatio.Mean)
+		}
+	}
+	// Paper: the ratio peaks around loads 2-2.5 at ~1.6 for 10 agents.
+	peak := 0.0
+	for _, r := range rows {
+		if r.SDRatio.Mean > peak {
+			peak = r.SDRatio.Mean
+		}
+	}
+	if peak < 1.3 || peak > 1.9 {
+		t.Errorf("σ ratio peak = %v, paper ~1.6 for 10 agents", peak)
+	}
+	// W increases with load and approaches N-ish at the top.
+	if rows[0].W > rows[len(rows)-1].W {
+		t.Error("W not increasing with load")
+	}
+}
+
+func TestFigure41Shape(t *testing.T) {
+	f := Figure41(10, 1.5, quick)
+	if len(f.Points) == 0 {
+		t.Fatal("no points")
+	}
+	prevRR, prevFC := 0.0, 0.0
+	for _, p := range f.Points {
+		if p.RR < prevRR-1e-12 || p.FCFS < prevFC-1e-12 {
+			t.Fatal("CDFs must be monotone")
+		}
+		prevRR, prevFC = p.RR, p.FCFS
+	}
+	// "Note how sharply the CDF rises near the mean waiting time for the
+	// FCFS protocol": FCFS CDF must exceed RR's just above the mean.
+	justAbove := f.W * 1.3
+	var rrAt, fcAt float64
+	for _, p := range f.Points {
+		if p.X <= justAbove {
+			rrAt, fcAt = p.RR, p.FCFS
+		}
+	}
+	if fcAt <= rrAt {
+		t.Errorf("CDF at 1.3W: FCFS %v <= RR %v, want sharper FCFS rise", fcAt, rrAt)
+	}
+}
+
+func TestTable43Shape(t *testing.T) {
+	rows := Table43(10, quick)
+	for _, r := range rows {
+		if r.ProdRR < 0 || r.ProdRR > 1 || r.ProdFCFS < 0 || r.ProdFCFS > 1 {
+			t.Errorf("load %v: productivity out of range: %v %v", r.Load, r.ProdRR, r.ProdFCFS)
+		}
+		if r.Overlap < 1 {
+			t.Errorf("load %v: overlap %v < 1", r.Load, r.Overlap)
+		}
+		if r.WNetRR < -1e-9 || r.WNetFCFS < -1e-9 {
+			t.Errorf("load %v: negative net wait", r.Load)
+		}
+	}
+	// The paper's conclusion: FCFS productivity is somewhat higher under
+	// this contrived overlap at moderate-to-high loads.
+	better := 0
+	for _, r := range rows {
+		if r.Load >= 1.0 && r.ProdFCFS >= r.ProdRR-0.005 {
+			better++
+		}
+	}
+	if better < 4 {
+		t.Errorf("FCFS productivity >= RR in only %d of the loaded rows", better)
+	}
+}
+
+func TestTable44Shape(t *testing.T) {
+	rows := Table44(30, 2, Opts{Batches: 10, BatchSize: 3000, Seed: 7})
+	// Low load: ratio ≈ factor; high load: decays toward 1, with FCFS
+	// staying at least as proportional as RR.
+	if math.Abs(rows[0].RatioRR.Mean-2.0) > 0.35 {
+		t.Errorf("low-load RR ratio = %s, want ~2", rows[0].RatioRR)
+	}
+	last := rows[len(rows)-1]
+	if last.RatioRR.Mean > 1.15 {
+		t.Errorf("high-load RR ratio = %s, want ~1.0 (evening-out)", last.RatioRR)
+	}
+	if last.RatioFCFS.Mean < last.RatioRR.Mean-0.05 {
+		t.Errorf("FCFS should stay more proportional: RR %s vs FCFS %s",
+			last.RatioRR, last.RatioFCFS)
+	}
+	if rows[2].Load < 1.0 || rows[2].Load > 1.1 {
+		t.Errorf("total load = %v, paper 1.03", rows[2].Load)
+	}
+}
+
+func TestTable45Shape(t *testing.T) {
+	rows := Table45(10, Opts{Batches: 10, BatchSize: 1500, Seed: 9})
+	if len(rows) != len(PaperCVs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	cv0 := rows[0].Ratio.Mean
+	loadRatio := rows[0].LoadRatio
+	// CV=0: the slow agent just misses its turn; its relative throughput
+	// collapses well below its load share (paper: 0.50 vs 0.76-ish).
+	if cv0 > 0.8*loadRatio {
+		t.Errorf("CV=0 ratio = %v, want well below load ratio %v", cv0, loadRatio)
+	}
+	// Any CV >= 0.1 recovers to ~the load-proportional share.
+	for _, r := range rows[1:] {
+		if r.Ratio.Mean < 0.85*loadRatio {
+			t.Errorf("CV=%v ratio = %v, want ≈ load ratio %v", r.CV, r.Ratio.Mean, loadRatio)
+		}
+	}
+}
+
+func TestOptsFill(t *testing.T) {
+	o := Opts{}.fill()
+	if o.Batches != 10 || o.BatchSize != 8000 || o.Seed != 1988 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o = Opts{Batches: 3, BatchSize: 100, Seed: 5}.fill()
+	if o.Batches != 3 || o.BatchSize != 100 || o.Seed != 5 {
+		t.Errorf("explicit opts clobbered: %+v", o)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	small := Opts{Batches: 4, BatchSize: 300, Seed: 2}
+	t41 := FormatTable41(10, Table41(10, false, small))
+	if !strings.Contains(t41, "Table 4.1") || !strings.Contains(t41, "±") {
+		t.Errorf("Table 4.1 format:\n%s", t41)
+	}
+	t42 := FormatTable42(10, Table42(10, small))
+	if !strings.Contains(t42, "σRR/σFCFS") {
+		t.Errorf("Table 4.2 format:\n%s", t42)
+	}
+	fig := FormatFigure41(Figure41(10, 1.5, small))
+	if !strings.Contains(fig, "Figure 4.1") || !strings.Contains(fig, "R = RR") {
+		t.Errorf("Figure 4.1 format:\n%s", fig)
+	}
+	t43 := FormatTable43(10, Table43(10, small))
+	if !strings.Contains(t43, "Overlap") {
+		t.Errorf("Table 4.3 format:\n%s", t43)
+	}
+	t44 := FormatTable44(30, 2, Table44(30, 2, small))
+	if !strings.Contains(t44, "t1/t2") {
+		t.Errorf("Table 4.4 format:\n%s", t44)
+	}
+	t45 := FormatTable45(10, Table45(10, small))
+	if !strings.Contains(t45, "tslow/tother") {
+		t.Errorf("Table 4.5 format:\n%s", t45)
+	}
+}
+
+func TestAblationCounterBits(t *testing.T) {
+	rows := AblationCounterBits(10, 2.0, Opts{Batches: 8, BatchSize: 800, Seed: 4})
+	if len(rows) != 4 { // Width(10) = 4
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// More counter bits => no worse unfairness (1-bit FCFS degrades
+	// toward fixed priority's bias).
+	if rows[0].Ratio.Mean < rows[len(rows)-1].Ratio.Mean-0.05 {
+		t.Errorf("1-bit ratio %v should be >= full-width ratio %v",
+			rows[0].Ratio.Mean, rows[len(rows)-1].Ratio.Mean)
+	}
+}
+
+func TestAblationHybrid(t *testing.T) {
+	rows := AblationHybrid(10, 2.0, Opts{Batches: 8, BatchSize: 800, Seed: 4})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]HybridRow{}
+	for _, r := range rows {
+		byName[r.Protocol] = r
+	}
+	// The hybrid keeps FCFS-like variance (well below RR's).
+	if byName["Hybrid"].WaitSD.Mean > 0.7*byName["RR1"].WaitSD.Mean+0.3*byName["FCFS2"].WaitSD.Mean {
+		t.Errorf("hybrid σ %v vs RR %v and FCFS %v — expected closer to FCFS",
+			byName["Hybrid"].WaitSD.Mean, byName["RR1"].WaitSD.Mean, byName["FCFS2"].WaitSD.Mean)
+	}
+}
+
+func TestAblationRR3(t *testing.T) {
+	rows := AblationRR3(10, Opts{Batches: 8, BatchSize: 800, Seed: 4})
+	sawRepass := false
+	for _, r := range rows {
+		if r.RepassesPerGrant > 0 {
+			sawRepass = true
+		}
+		// RR3's empty passes cost real time — "somewhat less efficient"
+		// (§3.1). At low load roughly half the exposed arbitrations
+		// repass, adding up to ~0.5·P(repass) ≈ 0.3 to W; under load the
+		// passes hide under transactions. Never cheaper than RR1, never
+		// more than one extra arbitration delay.
+		if r.WaitRR3 < r.WaitRR1-0.05 {
+			t.Errorf("load %v: RR3 W %v cheaper than RR1 %v (impossible)", r.Load, r.WaitRR3, r.WaitRR1)
+		}
+		if r.WaitRR3 > r.WaitRR1+0.5 {
+			t.Errorf("load %v: RR3 W %v exceeds RR1 %v + 0.5", r.Load, r.WaitRR3, r.WaitRR1)
+		}
+	}
+	if !sawRepass {
+		t.Error("RR3 never repassed across the load grid (implausible)")
+	}
+}
+
+func TestAblationSnapshot(t *testing.T) {
+	rows := AblationSnapshot(10, Opts{Batches: 8, BatchSize: 800, Seed: 4})
+	for _, r := range rows {
+		if rel := math.Abs(r.WaitLateJoin-r.WaitSnapshot) / r.WaitSnapshot; rel > 0.05 {
+			t.Errorf("load %v: late-join W %v vs snapshot %v — should be a small effect",
+				r.Load, r.WaitLateJoin, r.WaitSnapshot)
+		}
+	}
+}
+
+// Parallel execution must produce identical results to sequential: every
+// simulation is independently seeded.
+func TestParallelDeterminism(t *testing.T) {
+	seq := Table42(10, Opts{Batches: 4, BatchSize: 400, Seed: 6, Parallel: 1})
+	par := Table42(10, Opts{Batches: 4, BatchSize: 400, Seed: 6, Parallel: 8})
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestRobustnessStudy(t *testing.T) {
+	rows := Robustness(8, 4000, []int{0, 500, 50}, 21)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// No faults: both perfectly fair, no collisions.
+	if rows[0].CollisionsRot != 0 || rows[0].FairnessRot < 0.99 || rows[0].FairnessRR < 0.99 {
+		t.Errorf("fault-free row = %+v", rows[0])
+	}
+	// With faults: RR1 stays essentially fair (heals each arbitration);
+	// the rotating scheme collides and skews badly. Even a rare fault
+	// (every 500 grants) is catastrophic — the desync is permanent, so
+	// the fault frequency barely matters.
+	for _, r := range rows[1:] {
+		if r.FairnessRR < 0.95 {
+			t.Errorf("faults every %d: RR1 fairness %v, want ~1 (self-healing)", r.FaultEvery, r.FairnessRR)
+		}
+		if r.CollisionsRot == 0 {
+			t.Errorf("faults every %d: rotating scheme had no collisions", r.FaultEvery)
+		}
+		if r.FairnessRot > 0.7 {
+			t.Errorf("faults every %d: rotating fairness %v, want badly skewed", r.FaultEvery, r.FairnessRot)
+		}
+	}
+}
+
+func TestFormatRobustness(t *testing.T) {
+	out := FormatRobustness(8, 1000, Robustness(8, 1000, []int{0, 100}, 5))
+	for _, want := range []string{"Robustness", "never", "collisions", "fairness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSplitVsConnected(t *testing.T) {
+	rows := SplitVsConnected(8, 4, 2.0, []float64{0.25, 2.0},
+		Opts{Batches: 4, BatchSize: 800, Seed: 3})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Fast memory: near-tie. Slow memory: split carries much more.
+	fast, slow := rows[0], rows[1]
+	if fast.TputSplit < 0.9*fast.TputConnected {
+		t.Errorf("fast memory: split %v far below connected %v", fast.TputSplit, fast.TputConnected)
+	}
+	if slow.TputSplit < 1.5*slow.TputConnected {
+		t.Errorf("slow memory: split %v, connected %v — want big win", slow.TputSplit, slow.TputConnected)
+	}
+}

@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format helpers render experiment results in the paper's table layout,
+// for cmd/paper and EXPERIMENTS.md.
+
+func header(b *strings.Builder, title string) {
+	b.WriteString(title)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", len(title)))
+	b.WriteByte('\n')
+}
+
+// FormatTable41 renders Table 4.1 rows.
+func FormatTable41(n int, rows []Table41Row) string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Table 4.1 (%d agents): bandwidth allocation, equal request rates", n))
+	b.WriteString("  Load     λ      tN/t1 RR        tN/t1 FCFS")
+	if rows[0].RatioAAP != nil {
+		b.WriteString("      tN/t1 AAP")
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %4.2f   %4.2f   %-14s  %-14s", r.Load, r.Lambda, r.RatioRR, r.RatioFCFS)
+		if r.RatioAAP != nil {
+			fmt.Fprintf(&b, "  %-14s", *r.RatioAAP)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable42 renders Table 4.2 rows.
+func FormatTable42(n int, rows []Table42Row) string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Table 4.2 (%d agents): waiting time standard deviation", n))
+	b.WriteString("  Load     W       σW FCFS         σW RR           σRR/σFCFS\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %4.2f  %6.2f   %-14s  %-14s  %-14s\n",
+			r.Load, r.W, r.SDFCFS, r.SDRR, r.SDRatio)
+	}
+	return b.String()
+}
+
+// FormatFigure41 renders Figure 4.1 as an ASCII plot plus a data table.
+func FormatFigure41(f Figure41Result) string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Figure 4.1: CDF of bus waiting time (%d agents, load = %.1f, W = %.2f)", f.N, f.Load, f.W))
+	b.WriteString("      x      CDF RR   CDF FCFS\n")
+	for i, p := range f.Points {
+		// Thin the table: every 4th point.
+		if i%4 != 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %7.2f   %6.3f   %6.3f\n", p.X, p.RR, p.FCFS)
+	}
+	b.WriteByte('\n')
+	b.WriteString(asciiCDF(f))
+	return b.String()
+}
+
+// asciiCDF draws both CDFs in a fixed-size character grid: 'R' marks the
+// RR curve, 'F' the FCFS curve, '*' where they coincide.
+func asciiCDF(f Figure41Result) string {
+	const height = 20
+	width := len(f.Points)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(vals func(FigurePoint) float64, mark byte) {
+		for x, p := range f.Points {
+			y := int(vals(p) * float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			row := height - 1 - y
+			switch grid[row][x] {
+			case ' ':
+				grid[row][x] = mark
+			default:
+				grid[row][x] = '*'
+			}
+		}
+	}
+	plot(func(p FigurePoint) float64 { return p.RR }, 'R')
+	plot(func(p FigurePoint) float64 { return p.FCFS }, 'F')
+	var b strings.Builder
+	b.WriteString("  1.0 +" + strings.Repeat("-", width) + "\n")
+	for i, row := range grid {
+		label := "      "
+		if i == height-1 {
+			label = "  0.0 "
+		} else if i == height/2 {
+			label = "  0.5 "
+		}
+		b.WriteString(label + "|" + string(row) + "\n")
+	}
+	fmt.Fprintf(&b, "        0%sx -> %.1f  (R = RR, F = FCFS, * = both)\n",
+		strings.Repeat(" ", width-12), f.Points[len(f.Points)-1].X)
+	return b.String()
+}
+
+// FormatTable43 renders Table 4.3 rows.
+func FormatTable43(n int, rows []Table43Row) string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Table 4.3 (%d agents): execution overlapped with bus waiting", n))
+	b.WriteString("  Load     W      W-ov RR   W-ov FCFS   Prod RR   Prod FCFS   Overlap\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %4.2f  %6.2f   %7.2f   %9.2f   %7.2f   %9.2f   %7.1f\n",
+			r.Load, r.W, r.WNetRR, r.WNetFCFS, r.ProdRR, r.ProdFCFS, r.Overlap)
+	}
+	return b.String()
+}
+
+// FormatTable44 renders Table 4.4 rows.
+func FormatTable44(n int, factor float64, rows []Table44Row) string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Table 4.4 (%d agents): one agent at %.0fx request rate", n, factor))
+	b.WriteString("  Load     λ     L1/L2    t1/t2 RR        t1/t2 FCFS\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %4.2f   %4.2f   %4.2f   %-14s  %-14s\n",
+			r.Load, r.Lambda, r.LoadRatio, r.RatioRR, r.RatioFCFS)
+	}
+	return b.String()
+}
+
+// FormatTable45 renders Table 4.5 rows.
+func FormatTable45(n int, rows []Table45Row) string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Table 4.5 (%d agents): worst-case bus allocation for RR", n))
+	b.WriteString("   CV    Lslow/Lother    tslow/tother\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %4.2f   %10.2f      %-14s\n", r.CV, r.LoadRatio, r.Ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFullEffortTable42aRegression reruns Table 4.2(a) at the paper's
+// full statistical effort (10 batches x 8000 completions) and compares
+// against the published values with tight tolerances. It takes ~20s, so
+// it is skipped under -short; the regular shape tests cover the same
+// ground at reduced effort.
+func TestFullEffortTable42aRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-effort regression skipped in -short mode")
+	}
+	paper := []struct {
+		load, w, sdFCFS, sdRR float64
+	}{
+		{0.25, 1.64, 0.33, 0.33},
+		{0.50, 1.85, 0.56, 0.58},
+		{1.00, 2.77, 1.18, 1.30},
+		{1.50, 4.47, 1.54, 1.94},
+		{2.00, 6.00, 1.43, 2.09},
+		{2.50, 7.00, 1.25, 2.02},
+		{5.00, 9.00, 0.71, 0.99},
+		{7.50, 9.67, 0.32, 0.33},
+	}
+	rows := Table42(10, Opts{Batches: 10, BatchSize: 8000, Seed: 1988, Parallel: 4})
+	if len(rows) != len(paper) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, p := range paper {
+		r := rows[i]
+		if rel := math.Abs(r.W-p.w) / p.w; rel > 0.03 {
+			t.Errorf("load %v: W = %.3f, paper %.2f (%.1f%% off)", p.load, r.W, p.w, 100*rel)
+		}
+		if rel := math.Abs(r.SDRR.Mean-p.sdRR) / p.sdRR; rel > 0.08 {
+			t.Errorf("load %v: σ_RR = %.3f, paper %.2f", p.load, r.SDRR.Mean, p.sdRR)
+		}
+		if rel := math.Abs(r.SDFCFS.Mean-p.sdFCFS) / p.sdFCFS; rel > 0.10 {
+			t.Errorf("load %v: σ_FCFS = %.3f, paper %.2f", p.load, r.SDFCFS.Mean, p.sdFCFS)
+		}
+	}
+}
+
+// TestFullEffortTable45Regression verifies the §4.5 headline numbers at
+// full effort: the slow agent's ratio is 0.50 at CV=0 for every system
+// size and recovers to the published levels at CV=0.1.
+func TestFullEffortTable45Regression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-effort regression skipped in -short mode")
+	}
+	recovery := map[int]float64{10: 0.76, 30: 0.91, 64: 0.96}
+	for _, n := range []int{10, 30, 64} {
+		rows := Table45(n, Opts{Batches: 10, BatchSize: 4000, Seed: 1988, Parallel: 4})
+		if math.Abs(rows[0].Ratio.Mean-0.50) > 0.02 {
+			t.Errorf("n=%d CV=0: ratio %.3f, paper 0.50", n, rows[0].Ratio.Mean)
+		}
+		if math.Abs(rows[1].Ratio.Mean-recovery[n]) > 0.05 {
+			t.Errorf("n=%d CV=0.1: ratio %.3f, paper %.2f", n, rows[1].Ratio.Mean, recovery[n])
+		}
+	}
+}

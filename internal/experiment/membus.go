@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"busarb/internal/bussim"
+	"busarb/internal/membus"
+)
+
+// Split-vs-connected study: the bus-discipline question of the paper's
+// era, run on this library's arbiters. Connected transfers hold the bus
+// through the memory access; split transfers release it and let the
+// memory controller arbitrate the response back.
+
+// MemBusRow is one memory-latency point.
+type MemBusRow struct {
+	MemTime       float64
+	LatConnected  float64
+	LatSplit      float64
+	TputConnected float64
+	TputSplit     float64
+	BusUtilSplit  float64
+	BankUtilSplit float64
+}
+
+// SplitVsConnected sweeps the memory access time at a fixed offered
+// load and bank count, reporting latency and carried throughput for
+// both disciplines.
+func SplitVsConnected(n, banks int, load float64, memTimes []float64, o Opts) []MemBusRow {
+	o = o.fill()
+	rows := make([]MemBusRow, len(memTimes))
+	o.forEach(len(memTimes), func(i int) {
+		mt := memTimes[i]
+		service := 0.25 + mt + 0.75
+		base := membus.Config{
+			N:         n,
+			Banks:     banks,
+			Protocol:  protoRR,
+			AddrTime:  0.25,
+			MemTime:   mt,
+			DataTime:  0.75,
+			Inter:     bussim.UniformLoad(n, load, 1.0, service),
+			Seed:      o.Seed,
+			Batches:   o.Batches,
+			BatchSize: o.BatchSize,
+		}
+		connCfg := base
+		connCfg.Mode = membus.Connected
+		splitCfg := base
+		splitCfg.Mode = membus.Split
+		conn := membus.Run(connCfg)
+		split := membus.Run(splitCfg)
+		rows[i] = MemBusRow{
+			MemTime:       mt,
+			LatConnected:  conn.Latency.Mean,
+			LatSplit:      split.Latency.Mean,
+			TputConnected: conn.Throughput.Mean,
+			TputSplit:     split.Throughput.Mean,
+			BusUtilSplit:  split.BusUtilization.Mean,
+			BankUtilSplit: split.BankUtilization.Mean,
+		}
+	})
+	return rows
+}
+
+// FormatSplitVsConnected renders the sweep.
+func FormatSplitVsConnected(n, banks int, load float64, rows []MemBusRow) string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Split vs connected transfers (%d processors, %d banks, load %.1f)", n, banks, load))
+	b.WriteString("  mem time   lat conn   lat split   tput conn   tput split   split bus/bank util\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %8.2f   %8.2f   %9.2f   %9.3f   %10.3f   %9.2f / %.2f\n",
+			r.MemTime, r.LatConnected, r.LatSplit, r.TputConnected, r.TputSplit,
+			r.BusUtilSplit, r.BankUtilSplit)
+	}
+	return b.String()
+}

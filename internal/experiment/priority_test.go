@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPriorityStudy(t *testing.T) {
+	rows := PriorityStudy(10, 2.0, []float64{0.1, 0.5},
+		Opts{Batches: 6, BatchSize: 1000, Seed: 31})
+	if len(rows) != len(PriorityVariants)*2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sawOverflow := false
+	for _, r := range rows {
+		// Urgent requests always wait less than normal ones on a loaded
+		// bus, under every integration variant.
+		if r.WUrgent >= r.WNormal {
+			t.Errorf("%s urgent %.0f%%: W urgent %v >= W normal %v",
+				r.Variant, 100*r.UrgentFrac, r.WUrgent, r.WNormal)
+		}
+		if r.OverflowPerGrant > 0 {
+			if r.Variant != "FCFS1+prio/overflow" {
+				t.Errorf("%s reported overflows", r.Variant)
+			}
+			sawOverflow = true
+		}
+	}
+	// At 50% urgent traffic on a saturated bus, the overflow policy's
+	// counters do wrap — quantifying the §3.2 hazard.
+	if !sawOverflow {
+		t.Error("overflow policy never overflowed at 50% urgent load (implausible)")
+	}
+	// Higher urgent fraction reduces the urgent advantage (more peers in
+	// the high class).
+	byKey := map[string]PriorityRow{}
+	for _, r := range rows {
+		byKey[r.Variant+f(r.UrgentFrac)] = r
+	}
+	lo := byKey["RR1+prio"+f(0.1)]
+	hi := byKey["RR1+prio"+f(0.5)]
+	if lo.WUrgent >= hi.WUrgent {
+		t.Errorf("urgent wait should grow with urgent share: %v -> %v", lo.WUrgent, hi.WUrgent)
+	}
+}
+
+func f(v float64) string {
+	if v == 0.1 {
+		return "lo"
+	}
+	return "hi"
+}
+
+func TestFormatPriorityStudy(t *testing.T) {
+	rows := PriorityStudy(8, 1.5, []float64{0.2}, Opts{Batches: 3, BatchSize: 300, Seed: 2})
+	out := FormatPriorityStudy(8, 1.5, rows)
+	for _, want := range []string{"Priority integration", "W urgent", "overflow/grant", "RR1+prio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

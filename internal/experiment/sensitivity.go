@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"busarb/internal/bussim"
+	"busarb/internal/workload"
+)
+
+// Sensitivity studies around the paper's fixed assumptions: §4.3 notes
+// that "the waiting time standard deviations decrease, and become closer
+// in value, as the CV of the interrequest times is reduced", and §4.1
+// fixes the arbitration overhead at half a transaction. These sweeps
+// quantify both statements.
+
+// CVSensitivityRow compares RR and FCFS waiting-time dispersion at one
+// interrequest CV.
+type CVSensitivityRow struct {
+	CV      float64
+	W       float64
+	SDRR    float64
+	SDFCFS  float64
+	SDRatio float64
+}
+
+// CVSensitivity sweeps the interrequest coefficient of variation at a
+// fixed load, reproducing the §4.3 claim that the two protocols'
+// waiting-time standard deviations shrink and converge as CV drops.
+func CVSensitivity(n int, load float64, cvs []float64, o Opts) []CVSensitivityRow {
+	o = o.fill()
+	rows := make([]CVSensitivityRow, 0, len(cvs))
+	for _, cv := range cvs {
+		sc := workload.Equal(n, load, cv)
+		rr := run(sc, protoRR, o, false)
+		fc := run(sc, protoFCFS2, o, false)
+		ratio := 1.0
+		if fc.WaitStdDev.Mean > 0 {
+			ratio = rr.WaitStdDev.Mean / fc.WaitStdDev.Mean
+		}
+		rows = append(rows, CVSensitivityRow{
+			CV:      cv,
+			W:       rr.WaitMean.Mean,
+			SDRR:    rr.WaitStdDev.Mean,
+			SDFCFS:  fc.WaitStdDev.Mean,
+			SDRatio: ratio,
+		})
+	}
+	return rows
+}
+
+// OverheadRow measures waiting time under a different arbitration
+// overhead.
+type OverheadRow struct {
+	ArbOverhead float64
+	W           float64
+	ExposedFrac float64 // fraction of arbitrations whose delay was exposed
+}
+
+// OverheadSensitivity sweeps the arbitration overhead at a fixed load
+// (the paper fixes it at 0.5; smaller values model the binary-patterned
+// lines of [John83], larger ones wider buses or slower logic). The
+// overhead matters only through exposed arbitrations, so W shifts by at
+// most one overhead per request.
+func OverheadSensitivity(n int, load float64, overheads []float64, o Opts) []OverheadRow {
+	o = o.fill()
+	rows := make([]OverheadRow, 0, len(overheads))
+	for _, ovh := range overheads {
+		sc := workload.Equal(n, load, 1.0)
+		cfg := bussim.Config{
+			Protocol:    protoRR,
+			ArbOverhead: ovh,
+			Seed:        o.Seed,
+			Batches:     o.Batches,
+			BatchSize:   o.BatchSize,
+		}
+		sc.Apply(&cfg)
+		res := bussim.Run(cfg)
+		exposed := 0.0
+		if res.Arbitrations > 0 {
+			exposed = float64(res.ExposedArbs) / float64(res.Arbitrations)
+		}
+		rows = append(rows, OverheadRow{
+			ArbOverhead: ovh,
+			W:           res.WaitMean.Mean,
+			ExposedFrac: exposed,
+		})
+	}
+	return rows
+}

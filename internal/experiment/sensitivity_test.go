@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"testing"
+
+	"busarb/internal/workload"
+)
+
+func workloadEqual(n int, load float64) workload.Scenario {
+	return workload.Equal(n, load, 1.0)
+}
+
+func TestCVSensitivityPaperClaim(t *testing.T) {
+	// §4.3: "the waiting time standard deviations decrease, and become
+	// closer in value, as the CV of the interrequest times is reduced."
+	rows := CVSensitivity(10, 2.0, []float64{0.0, 0.33, 1.0},
+		Opts{Batches: 8, BatchSize: 1000, Seed: 12})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Decreasing σ with decreasing CV for both protocols.
+	if !(rows[0].SDRR < rows[1].SDRR && rows[1].SDRR < rows[2].SDRR) {
+		t.Errorf("σ_RR not increasing with CV: %v %v %v", rows[0].SDRR, rows[1].SDRR, rows[2].SDRR)
+	}
+	if !(rows[0].SDFCFS <= rows[1].SDFCFS+0.05 && rows[1].SDFCFS < rows[2].SDFCFS) {
+		t.Errorf("σ_FCFS not increasing with CV: %v %v %v", rows[0].SDFCFS, rows[1].SDFCFS, rows[2].SDFCFS)
+	}
+	// Converging: the σ gap shrinks toward CV=0.
+	gap0 := rows[0].SDRR - rows[0].SDFCFS
+	gap1 := rows[2].SDRR - rows[2].SDFCFS
+	if gap0 > gap1 {
+		t.Errorf("σ gap at CV=0 (%v) exceeds gap at CV=1 (%v)", gap0, gap1)
+	}
+}
+
+func TestOverheadSensitivity(t *testing.T) {
+	rows := OverheadSensitivity(10, 0.5, []float64{0.1, 0.5, 1.0},
+		Opts{Batches: 8, BatchSize: 1000, Seed: 13})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More overhead, more waiting — monotone at low load where most
+	// arbitrations are exposed.
+	if !(rows[0].W < rows[1].W && rows[1].W < rows[2].W) {
+		t.Errorf("W not monotone in overhead: %v %v %v", rows[0].W, rows[1].W, rows[2].W)
+	}
+	// At load 0.5, a large fraction of arbitrations is exposed.
+	if rows[1].ExposedFrac < 0.3 {
+		t.Errorf("exposed fraction = %v, want substantial at low load", rows[1].ExposedFrac)
+	}
+	// The W shift from 0.1 to 1.0 overhead is bounded by one overhead
+	// difference per request.
+	if shift := rows[2].W - rows[0].W; shift > 0.95 {
+		t.Errorf("W shift = %v, want < 0.9 (at most one exposed overhead)", shift)
+	}
+}
+
+func TestBatchIndependenceDiagnostic(t *testing.T) {
+	// The paper-sized batches should be long enough that batch means
+	// decorrelate; verify the diagnostic stays small on a standard run.
+	sc := Opts{Batches: 10, BatchSize: 2000, Seed: 14}
+	rows := CVSensitivity(10, 1.5, []float64{1.0}, sc)
+	_ = rows
+	r := run(workloadEqual(10, 1.5), protoRR, sc, false)
+	if r.BatchAutocorr > 0.5 {
+		t.Errorf("lag-1 batch autocorrelation = %v, batches too short", r.BatchAutocorr)
+	}
+}

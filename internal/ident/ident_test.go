@@ -1,0 +1,188 @@
+package ident
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWidth(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{10, 4}, {30, 5}, {31, 5}, {32, 6}, {63, 6}, {64, 7},
+	}
+	for _, c := range cases {
+		if got := Width(c.n); got != c.want {
+			t.Errorf("Width(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// The paper notes Futurebus uses k=6, i.e. up to 63 agents.
+	if Width(63) != 6 {
+		t.Error("Futurebus k=6 example violated")
+	}
+}
+
+func TestTotalBits(t *testing.T) {
+	l := Layout{StaticBits: 5, RRBit: true, CounterBits: 5, PriorityBit: true}
+	if got := l.TotalBits(); got != 12 {
+		t.Errorf("TotalBits = %d, want 12", got)
+	}
+	// The paper (§3.2): FCFS at most doubles the identity size.
+	fc := Layout{StaticBits: 6, CounterBits: 6}
+	if fc.TotalBits() != 12 {
+		t.Error("FCFS layout should double the static width")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	layouts := []Layout{
+		{StaticBits: 4},
+		{StaticBits: 4, RRBit: true},
+		{StaticBits: 5, CounterBits: 5},
+		{StaticBits: 5, CounterBits: 5, PriorityBit: true},
+		{StaticBits: 6, RRBit: true, CounterBits: 3, PriorityBit: true},
+	}
+	for _, l := range layouts {
+		f := func(static, counter uint8, rr, prio bool) bool {
+			n := Number{
+				Static:   int(static) % (1 << l.StaticBits),
+				RR:       rr && l.RRBit,
+				Counter:  0,
+				Priority: prio && l.PriorityBit,
+			}
+			if l.CounterBits > 0 {
+				n.Counter = int(counter) % (1 << l.CounterBits)
+			}
+			return l.Decode(l.Encode(n)) == n
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("layout %+v: %v", l, err)
+		}
+	}
+}
+
+func TestEncodeOrdering(t *testing.T) {
+	l := Layout{StaticBits: 4, RRBit: true, CounterBits: 4, PriorityBit: true}
+	// Priority dominates counter dominates RR dominates static.
+	lowPrio := l.Encode(Number{Static: 15, Counter: 15, RR: true})
+	highPrio := l.Encode(Number{Static: 1, Priority: true})
+	if highPrio <= lowPrio {
+		t.Error("priority bit must dominate all other fields")
+	}
+	lowCtr := l.Encode(Number{Static: 15, RR: true, Counter: 3})
+	highCtr := l.Encode(Number{Static: 1, Counter: 4})
+	if highCtr <= lowCtr {
+		t.Error("counter must dominate RR bit and static id")
+	}
+	noRR := l.Encode(Number{Static: 15})
+	withRR := l.Encode(Number{Static: 1, RR: true})
+	if withRR <= noRR {
+		t.Error("RR bit must dominate static id")
+	}
+	small := l.Encode(Number{Static: 3})
+	big := l.Encode(Number{Static: 9})
+	if big <= small {
+		t.Error("static ordering broken")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	l := Layout{StaticBits: 3}
+	if err := l.Validate(Number{Static: 7}); err != nil {
+		t.Errorf("valid number rejected: %v", err)
+	}
+	bad := []Number{
+		{Static: 8},
+		{Static: -1},
+		{Static: 1, RR: true},       // no RR bit in layout
+		{Static: 1, Counter: 1},     // no counter in layout
+		{Static: 1, Priority: true}, // no priority bit in layout
+	}
+	for _, n := range bad {
+		if err := l.Validate(n); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid number", n)
+		}
+	}
+	if err := (Layout{}).Validate(Number{}); err == nil {
+		t.Error("layout without static field accepted")
+	}
+}
+
+func TestEncodePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode of invalid number did not panic")
+		}
+	}()
+	Layout{StaticBits: 2}.Encode(Number{Static: 4})
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	l := Layout{StaticBits: 5, RRBit: true, CounterBits: 5}
+	f := func(raw uint16) bool {
+		v := uint64(raw) % (1 << l.TotalBits())
+		bs := l.Bits(v)
+		if len(bs) != l.TotalBits() {
+			return false
+		}
+		return l.FromBits(bs) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsMSBFirst(t *testing.T) {
+	l := Layout{StaticBits: 4}
+	bs := l.Bits(0b1010)
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Fatalf("Bits(0b1010) = %v, want %v", bs, want)
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	if w, i := Max(nil); w != 0 || i != -1 {
+		t.Errorf("Max(nil) = (%d, %d)", w, i)
+	}
+	if w, i := Max([]uint64{0}); w != 0 || i != 0 {
+		t.Errorf("Max([0]) = (%d, %d)", w, i)
+	}
+	if w, i := Max([]uint64{3, 9, 9, 2}); w != 9 || i != 1 {
+		t.Errorf("Max = (%d, %d), want (9, 1)", w, i)
+	}
+}
+
+func TestMaxProperty(t *testing.T) {
+	f := func(vs []uint64) bool {
+		w, i := Max(vs)
+		if len(vs) == 0 {
+			return w == 0 && i == -1
+		}
+		if i < 0 || i >= len(vs) || vs[i] != w {
+			return false
+		}
+		for _, v := range vs {
+			if v > w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's §3.1 example: agents 1010101 and 0011100 compete; the
+// winner must be 1010101.
+func TestPaperExampleIdentities(t *testing.T) {
+	l := Layout{StaticBits: 7}
+	a := l.Encode(Number{Static: 0b1010101})
+	b := l.Encode(Number{Static: 0b0011100})
+	w, i := Max([]uint64{a, b})
+	if w != a || i != 0 {
+		t.Errorf("winner = %b, want 1010101", w)
+	}
+}

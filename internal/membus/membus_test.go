@@ -1,0 +1,156 @@
+package membus
+
+import (
+	"testing"
+
+	"busarb/internal/bussim"
+	"busarb/internal/core"
+)
+
+func cfg(mode Mode, n, banks int, load float64) Config {
+	rr, _ := core.ByName("RR1")
+	// Offered load is relative to the connected service time A+M+D.
+	service := 0.25 + 1.5 + 0.75
+	per := load / float64(n)
+	mean := bussim.MeanForLoad(per, service)
+	inter := bussim.UniformLoad(n, load, 1.0, service)
+	_ = mean
+	return Config{
+		N: n, Banks: banks, Protocol: rr, Mode: mode,
+		Inter: inter, Seed: 5, Batches: 6, BatchSize: 1500,
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Connected.String() != "connected" || Split.String() != "split" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestConnectedLowLoadLatency(t *testing.T) {
+	// At low load a transfer is just A + M + D plus half-address
+	// arbitration, with negligible queueing.
+	res := Run(cfg(Connected, 8, 4, 0.3))
+	minLat := 0.25 + 1.5 + 0.75
+	if res.Latency.Mean < minLat || res.Latency.Mean > minLat+0.6 {
+		t.Errorf("connected low-load latency = %v, want ~%v", res.Latency.Mean, minLat)
+	}
+}
+
+func TestSplitConnectedCloseAtLowLoad(t *testing.T) {
+	// At low load both disciplines deliver essentially A + M + D: the
+	// split bus saves queueing behind held buses but pays a second
+	// arbitration — a small net difference either way.
+	conn := Run(cfg(Connected, 8, 4, 0.1))
+	split := Run(cfg(Split, 8, 4, 0.1))
+	if gap := conn.Latency.Mean - split.Latency.Mean; gap < -0.2 || gap > 0.4 {
+		t.Errorf("low load: split %v vs connected %v — gap %v too large",
+			split.Latency.Mean, conn.Latency.Mean, gap)
+	}
+	if split.RespArbitrations == 0 {
+		t.Error("split mode recorded no response tenures")
+	}
+	if conn.RespArbitrations != 0 {
+		t.Error("connected mode recorded response tenures")
+	}
+}
+
+func TestSplitWinsUnderLoad(t *testing.T) {
+	// The crossover the split-transaction design exists for: with slow
+	// memory and high demand, the connected bus wastes M per transfer
+	// while split overlaps it, carrying much more traffic.
+	conn := Run(cfg(Connected, 12, 8, 3.0))
+	split := Run(cfg(Split, 12, 8, 3.0))
+	if split.Throughput.Mean < 1.3*conn.Throughput.Mean {
+		t.Errorf("loaded: split throughput %v, connected %v — want >1.3x",
+			split.Throughput.Mean, conn.Throughput.Mean)
+	}
+	if split.Latency.Mean > conn.Latency.Mean {
+		t.Errorf("loaded: split latency %v should beat connected %v",
+			split.Latency.Mean, conn.Latency.Mean)
+	}
+}
+
+func TestConnectedCapacityBound(t *testing.T) {
+	// Connected capacity is exactly 1/(A+M+D) transfers per unit time.
+	res := Run(cfg(Connected, 12, 8, 5.0))
+	bound := 1.0 / (0.25 + 1.5 + 0.75)
+	if res.Throughput.Mean > bound+0.005 {
+		t.Errorf("throughput %v exceeds connected bound %v", res.Throughput.Mean, bound)
+	}
+	if res.Throughput.Mean < 0.97*bound {
+		t.Errorf("saturated throughput %v, want ~bound %v", res.Throughput.Mean, bound)
+	}
+	if res.BusUtilization.Mean < 0.98 {
+		t.Errorf("saturated connected bus utilization = %v", res.BusUtilization.Mean)
+	}
+}
+
+func TestSplitCapacityBounds(t *testing.T) {
+	// Split is bus-bound at 1/(A+D) or bank-bound at Banks/M, whichever
+	// is smaller. With 8 banks and M=1.5: banks allow 5.33/t, bus allows
+	// 1/(1.0) = 1.0/t — bus-bound.
+	res := Run(cfg(Split, 12, 8, 5.0))
+	busBound := 1.0 / (0.25 + 0.75)
+	if res.Throughput.Mean > busBound+0.01 {
+		t.Errorf("throughput %v exceeds split bus bound %v", res.Throughput.Mean, busBound)
+	}
+	if res.Throughput.Mean < 0.9*busBound {
+		t.Errorf("saturated split throughput %v, want near %v", res.Throughput.Mean, busBound)
+	}
+}
+
+func TestBankBoundSplit(t *testing.T) {
+	// One slow bank: capacity Banks/M = 1/1.5 < bus bound 1.0 — the
+	// bank becomes the bottleneck and its utilization approaches 1.
+	res := Run(cfg(Split, 12, 1, 5.0))
+	bankBound := 1.0 / 1.5
+	if res.Throughput.Mean > bankBound+0.01 {
+		t.Errorf("throughput %v exceeds bank bound %v", res.Throughput.Mean, bankBound)
+	}
+	if res.BankUtilization.Mean < 0.95 {
+		t.Errorf("bank utilization %v, want ~1 (bottleneck)", res.BankUtilization.Mean)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := Run(cfg(Split, 8, 4, 1.5))
+	b := Run(cfg(Split, 8, 4, 1.5))
+	if a.Latency.Mean != b.Latency.Mean || a.Throughput.Mean != b.Throughput.Mean {
+		t.Error("identical seeds differ")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rr, _ := core.ByName("RR1")
+	bad := []Config{
+		{N: 1, Banks: 1, Protocol: rr},
+		{N: 4, Banks: 0, Protocol: rr},
+		{N: 4, Banks: 1, Protocol: nil},
+		{N: 4, Banks: 1, Protocol: rr, Inter: bussim.UniformLoad(3, 0.5, 1, 1)},
+		{N: 4, Banks: 1, Protocol: rr, Inter: bussim.UniformLoad(4, 0.5, 1, 1), AddrTime: -1},
+	}
+	for i, c := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d did not panic", i)
+				}
+			}()
+			Run(c)
+		}()
+	}
+}
+
+func TestWorksWithEveryProtocol(t *testing.T) {
+	for _, name := range []string{"FP", "RR1", "RR3", "FCFS1", "FCFS2", "AAP1", "AAP2"} {
+		f, _ := core.ByName(name)
+		c := cfg(Split, 6, 4, 2.0)
+		c.Protocol = f
+		c.Batches, c.BatchSize = 3, 500
+		res := Run(c)
+		if res.Completions != 1500 {
+			t.Errorf("%s: completions = %d", name, res.Completions)
+		}
+	}
+}

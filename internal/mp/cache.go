@@ -1,0 +1,230 @@
+// Package mp models the system the paper's introduction motivates: a
+// shared-bus multiprocessor whose processors stall on cache-block
+// transfers. Processors execute synthetic reference streams against
+// private caches; misses (and dirty write-backs) become bus transactions
+// arbitrated by the protocols under study. This turns the paper's §2.3
+// observation — "the relative bus bandwidth allocated to each processor
+// translates directly to the relative speeds at which application
+// processes run" — into a measurable application-level quantity.
+package mp
+
+import (
+	"fmt"
+
+	"busarb/internal/rng"
+)
+
+// Cache is a set-associative write-back cache with LRU replacement.
+// Addresses are byte addresses; a block is 1<<blockBits bytes.
+type Cache struct {
+	sets      int
+	ways      int
+	blockBits uint
+
+	// tags[set][way] holds the block address (addr >> blockBits) or
+	// invalid; lru[set][way] is the recency stamp (bigger = newer).
+	tags  [][]uint64
+	valid [][]bool
+	dirty [][]bool
+	lru   [][]uint64
+	clock uint64
+
+	// Statistics.
+	Accesses  int64
+	Misses    int64
+	Evictions int64
+	DirtyEvts int64
+}
+
+// NewCache builds a cache with the given geometry. sizeBytes must be
+// divisible by blockBytes*ways; blockBytes must be a power of two.
+func NewCache(sizeBytes, blockBytes, ways int) *Cache {
+	if sizeBytes <= 0 || blockBytes <= 0 || ways <= 0 {
+		panic("mp: cache geometry must be positive")
+	}
+	if blockBytes&(blockBytes-1) != 0 {
+		panic(fmt.Sprintf("mp: block size %d not a power of two", blockBytes))
+	}
+	blocks := sizeBytes / blockBytes
+	if blocks == 0 || blocks%ways != 0 {
+		panic(fmt.Sprintf("mp: %dB cache with %dB blocks and %d ways is not realizable",
+			sizeBytes, blockBytes, ways))
+	}
+	sets := blocks / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mp: set count %d not a power of two", sets))
+	}
+	blockBits := uint(0)
+	for 1<<blockBits < blockBytes {
+		blockBits++
+	}
+	c := &Cache{sets: sets, ways: ways, blockBits: blockBits}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.dirty = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for s := 0; s < sets; s++ {
+		c.tags[s] = make([]uint64, ways)
+		c.valid[s] = make([]bool, ways)
+		c.dirty[s] = make([]bool, ways)
+		c.lru[s] = make([]uint64, ways)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// BlockBytes returns the block size in bytes.
+func (c *Cache) BlockBytes() int { return 1 << c.blockBits }
+
+// AccessResult describes the bus work one reference causes.
+type AccessResult struct {
+	Hit bool
+	// Writeback reports that a dirty block was evicted and must be
+	// written to memory before (or bundled with) the fill.
+	Writeback bool
+}
+
+// Access performs one reference. On a miss the block is filled (and a
+// victim evicted); write hits and write fills mark the block dirty.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	c.Accesses++
+	c.clock++
+	block := addr >> c.blockBits
+	set := int(block % uint64(c.sets))
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == block {
+			c.lru[set][w] = c.clock
+			if write {
+				c.dirty[set][w] = true
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+	c.Misses++
+	// Choose victim: an invalid way, else LRU.
+	victim := 0
+	best := ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			best = 0
+			break
+		}
+		if c.lru[set][w] < best {
+			best = c.lru[set][w]
+			victim = w
+		}
+	}
+	res := AccessResult{}
+	if c.valid[set][victim] {
+		c.Evictions++
+		if c.dirty[set][victim] {
+			c.DirtyEvts++
+			res.Writeback = true
+		}
+	}
+	c.tags[set][victim] = block
+	c.valid[set][victim] = true
+	c.dirty[set][victim] = write
+	c.lru[set][victim] = c.clock
+	return res
+}
+
+// MissRate returns the observed miss ratio.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset invalidates the cache and clears statistics.
+func (c *Cache) Reset() {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			c.valid[s][w] = false
+			c.dirty[s][w] = false
+			c.lru[s][w] = 0
+		}
+	}
+	c.clock = 0
+	c.Accesses, c.Misses, c.Evictions, c.DirtyEvts = 0, 0, 0, 0
+}
+
+// Pattern generates a synthetic memory-reference stream.
+type Pattern interface {
+	// Next returns the next reference.
+	Next(src *rng.Source) (addr uint64, write bool)
+	// String names the pattern for reports.
+	String() string
+}
+
+// Sequential walks memory with a fixed stride (streaming access: every
+// block-boundary crossing misses).
+type Sequential struct {
+	Stride uint64
+	// WriteFrac is the fraction of references that are writes.
+	WriteFrac float64
+	next      uint64
+}
+
+// Next implements Pattern.
+func (s *Sequential) Next(src *rng.Source) (uint64, bool) {
+	addr := s.next
+	stride := s.Stride
+	if stride == 0 {
+		stride = 4
+	}
+	s.next += stride
+	return addr, src.Float64() < s.WriteFrac
+}
+
+func (s *Sequential) String() string { return fmt.Sprintf("sequential(stride=%d)", s.Stride) }
+
+// WorkingSet references a fixed-size region uniformly (steady-state
+// miss rate depends on whether the region fits in the cache).
+type WorkingSet struct {
+	Bytes     uint64
+	WriteFrac float64
+	Base      uint64
+}
+
+// Next implements Pattern.
+func (p *WorkingSet) Next(src *rng.Source) (uint64, bool) {
+	if p.Bytes == 0 {
+		panic("mp: WorkingSet needs a size")
+	}
+	addr := p.Base + uint64(src.Intn(int(p.Bytes)))
+	return addr, src.Float64() < p.WriteFrac
+}
+
+func (p *WorkingSet) String() string { return fmt.Sprintf("workingset(%dB)", p.Bytes) }
+
+// HotCold mixes a small hot region (hit-prone) with a large cold region
+// (miss-prone): HotProb selects the hot region.
+type HotCold struct {
+	HotBytes  uint64
+	ColdBytes uint64
+	HotProb   float64
+	WriteFrac float64
+}
+
+// Next implements Pattern.
+func (p *HotCold) Next(src *rng.Source) (uint64, bool) {
+	var addr uint64
+	if src.Float64() < p.HotProb {
+		addr = uint64(src.Intn(int(p.HotBytes)))
+	} else {
+		addr = p.HotBytes + uint64(src.Intn(int(p.ColdBytes)))
+	}
+	return addr, src.Float64() < p.WriteFrac
+}
+
+func (p *HotCold) String() string {
+	return fmt.Sprintf("hotcold(%dB/%dB, p=%.2f)", p.HotBytes, p.ColdBytes, p.HotProb)
+}

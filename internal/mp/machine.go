@@ -1,0 +1,144 @@
+package mp
+
+import (
+	"fmt"
+
+	"busarb/internal/bussim"
+	"busarb/internal/core"
+	"busarb/internal/rng"
+)
+
+// Processor is a bussim.ThinkSource: between bus requests it executes
+// references against its private cache; the think time is the compute
+// time until the next reference that needs the bus. A miss that evicts
+// a dirty block issues the write-back first (zero think time between
+// the write-back and the fill, modeling a single master holding two
+// back-to-back tenures).
+type Processor struct {
+	ID      int
+	Cache   *Cache
+	Pattern Pattern
+	// CyclePerRef is the compute time between successive memory
+	// references, in bus-transaction units (the paper's time unit). A
+	// cache-block transfer takes 1.0 by definition, so a value like
+	// 0.05 means one reference every twentieth of a block-transfer
+	// time.
+	CyclePerRef float64
+
+	// References counts executed references, the processor's progress
+	// measure ("the relative speeds at which application processes
+	// run", §2.3).
+	References int64
+
+	// fillPending marks that the previous request was a write-back and
+	// the block fill must follow immediately.
+	fillPending bool
+}
+
+// NextThink implements bussim.ThinkSource: run until the next bus
+// transaction is needed and return the compute time consumed.
+func (p *Processor) NextThink(src *rng.Source) float64 {
+	if p.fillPending {
+		// The write-back finished; the fill goes out immediately.
+		p.fillPending = false
+		return 0
+	}
+	think := 0.0
+	for {
+		think += p.CyclePerRef
+		p.References++
+		addr, write := p.Pattern.Next(src)
+		res := p.Cache.Access(addr, write)
+		if res.Hit {
+			continue
+		}
+		if res.Writeback {
+			p.fillPending = true
+		}
+		return think
+	}
+}
+
+// MeanHint implements bussim.ThinkSource; the mean think time is not
+// known a priori (it depends on cache behavior).
+func (p *Processor) MeanHint() float64 { return 0 }
+
+// MachineConfig assembles a shared-bus multiprocessor.
+type MachineConfig struct {
+	Processors []*Processor
+	Protocol   core.Factory
+	Seed       uint64
+	Batches    int
+	BatchSize  int
+}
+
+// MachineResult couples the bus-level measurements with per-processor
+// application-level progress.
+type MachineResult struct {
+	Bus *bussim.Result
+	// Progress[i] is processor i+1's executed references per unit time.
+	Progress []float64
+	// MissRate[i] is processor i+1's cache miss ratio.
+	MissRate []float64
+}
+
+// SlowestRelative returns the slowest processor's progress relative to
+// the mean — the §2.3 number that bounds tightly coupled parallel
+// programs.
+func (r *MachineResult) SlowestRelative() float64 {
+	if len(r.Progress) == 0 {
+		return 0
+	}
+	minP, sum := r.Progress[0], 0.0
+	for _, p := range r.Progress {
+		if p < minP {
+			minP = p
+		}
+		sum += p
+	}
+	mean := sum / float64(len(r.Progress))
+	if mean == 0 {
+		return 0
+	}
+	return minP / mean
+}
+
+// Run simulates the machine.
+func Run(cfg MachineConfig) *MachineResult {
+	n := len(cfg.Processors)
+	if n < 2 {
+		panic("mp: need at least two processors")
+	}
+	sources := make([]bussim.ThinkSource, n)
+	for i, p := range cfg.Processors {
+		if p.Cache == nil || p.Pattern == nil || p.CyclePerRef <= 0 {
+			panic(fmt.Sprintf("mp: processor %d incompletely configured", i+1))
+		}
+		p.ID = i + 1
+		sources[i] = p
+	}
+	bres := bussim.Run(bussim.Config{
+		N:         n,
+		Protocol:  cfg.Protocol,
+		Sources:   sources,
+		Seed:      cfg.Seed,
+		Batches:   cfg.Batches,
+		BatchSize: cfg.BatchSize,
+	})
+	res := &MachineResult{
+		Bus:      bres,
+		Progress: make([]float64, n),
+		MissRate: make([]float64, n),
+	}
+	// Progress per unit time over the whole run: references accumulate
+	// from time zero, so divide by the full simulated span.
+	total := bres.WallTime
+	if total <= 0 {
+		total = 1
+	}
+	for i, p := range cfg.Processors {
+		res.Progress[i] = float64(p.References) / total
+		res.MissRate[i] = p.Cache.MissRate()
+	}
+	return res
+}

@@ -1,0 +1,263 @@
+package mp
+
+import (
+	"math"
+	"testing"
+
+	"busarb/internal/core"
+	"busarb/internal/rng"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	c := NewCache(1024, 32, 2)
+	if c.Sets() != 16 || c.Ways() != 2 || c.BlockBytes() != 32 {
+		t.Errorf("geometry: sets=%d ways=%d block=%d", c.Sets(), c.Ways(), c.BlockBytes())
+	}
+}
+
+func TestCacheGeometryPanics(t *testing.T) {
+	cases := [][3]int{
+		{0, 32, 1},    // zero size
+		{1024, 33, 1}, // non-power-of-two block
+		{1024, 32, 3}, // blocks not divisible by ways: 32 blocks / 3
+		{96, 32, 1},   // sets = 3, not a power of two
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCache(%v) did not panic", c)
+				}
+			}()
+			NewCache(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(256, 32, 1) // 8 direct-mapped blocks
+	if res := c.Access(0, false); res.Hit {
+		t.Fatal("cold access hit")
+	}
+	if res := c.Access(16, false); !res.Hit {
+		t.Fatal("same-block access missed")
+	}
+	// A conflicting block (same set, 8 blocks apart) evicts.
+	if res := c.Access(256, false); res.Hit {
+		t.Fatal("conflicting access hit")
+	}
+	if res := c.Access(0, false); res.Hit {
+		t.Fatal("evicted block still present")
+	}
+	if c.Misses != 3 || c.Accesses != 4 {
+		t.Errorf("misses=%d accesses=%d", c.Misses, c.Accesses)
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := NewCache(256, 32, 1)
+	c.Access(0, true) // miss, fill, dirty
+	res := c.Access(256, false)
+	if !res.Writeback {
+		t.Error("dirty victim eviction must report a write-back")
+	}
+	if c.DirtyEvts != 1 {
+		t.Errorf("DirtyEvts = %d", c.DirtyEvts)
+	}
+	// Clean eviction: no write-back.
+	res = c.Access(0, false)
+	if res.Writeback {
+		t.Error("clean victim must not write back")
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(128, 32, 2) // 2 sets, 2 ways
+	// Set 0 blocks: 0, 64, 128...
+	c.Access(0, false)   // fill way A
+	c.Access(64, false)  // fill way B
+	c.Access(0, false)   // touch A: B is now LRU
+	c.Access(128, false) // evicts B (64)
+	if res := c.Access(0, false); !res.Hit {
+		t.Error("recently used block evicted (not LRU)")
+	}
+	if res := c.Access(64, false); res.Hit {
+		t.Error("LRU block survived")
+	}
+}
+
+func TestCacheWorkingSetFits(t *testing.T) {
+	// A working set smaller than the cache converges to ~zero misses.
+	c := NewCache(4096, 32, 2)
+	p := &WorkingSet{Bytes: 2048}
+	src := rng.New(1)
+	for i := 0; i < 5000; i++ {
+		addr, w := p.Next(src)
+		c.Access(addr, w)
+	}
+	warmMisses := c.Misses
+	for i := 0; i < 5000; i++ {
+		addr, w := p.Next(src)
+		c.Access(addr, w)
+	}
+	if c.Misses != warmMisses {
+		t.Errorf("fitting working set still missing after warmup: %d -> %d", warmMisses, c.Misses)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(256, 32, 1)
+	c.Access(0, true)
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Error("Reset left stats")
+	}
+	if res := c.Access(0, false); res.Hit {
+		t.Error("Reset left valid lines")
+	}
+}
+
+func TestSequentialPatternAlwaysMissesAtBlockRate(t *testing.T) {
+	c := NewCache(1024, 32, 1)
+	p := &Sequential{Stride: 8}
+	src := rng.New(2)
+	for i := 0; i < 4000; i++ {
+		addr, w := p.Next(src)
+		c.Access(addr, w)
+	}
+	// Stride 8 over 32B blocks: one miss every 4 references.
+	want := 0.25
+	if got := c.MissRate(); math.Abs(got-want) > 0.01 {
+		t.Errorf("streaming miss rate = %v, want %v", got, want)
+	}
+}
+
+func TestHotColdPattern(t *testing.T) {
+	p := &HotCold{HotBytes: 1024, ColdBytes: 1 << 20, HotProb: 0.9}
+	src := rng.New(3)
+	hot := 0
+	for i := 0; i < 10000; i++ {
+		addr, _ := p.Next(src)
+		if addr < 1024 {
+			hot++
+		}
+	}
+	if hot < 8800 || hot > 9200 {
+		t.Errorf("hot fraction = %v, want ~0.9", float64(hot)/10000)
+	}
+}
+
+func TestProcessorThinkSequence(t *testing.T) {
+	// A streaming processor misses every 4th reference (32B blocks,
+	// stride 8): think time must be 4 * CyclePerRef per request, and a
+	// dirty-writeback fill follows with zero think.
+	proc := &Processor{
+		Cache:       NewCache(256, 32, 1),
+		Pattern:     &Sequential{Stride: 8, WriteFrac: 1.0}, // all writes: every eviction dirty
+		CyclePerRef: 0.1,
+	}
+	src := rng.New(4)
+	first := proc.NextThink(src) // cold miss on reference 1
+	if math.Abs(first-0.1) > 1e-12 {
+		t.Errorf("first think = %v, want 0.1", first)
+	}
+	// Fill the 8 blocks, then evictions begin producing write-backs:
+	// every miss is then (0.4 think, then a 0-think fill request).
+	for i := 0; i < 7; i++ {
+		proc.NextThink(src)
+	}
+	think := proc.NextThink(src)
+	if math.Abs(think-0.4) > 1e-12 {
+		t.Errorf("steady think = %v, want 0.4", think)
+	}
+	fill := proc.NextThink(src)
+	if fill != 0 {
+		t.Errorf("fill think = %v, want 0 (back-to-back with write-back)", fill)
+	}
+}
+
+func TestMachineRunsAndReportsProgress(t *testing.T) {
+	mkProc := func() *Processor {
+		return &Processor{
+			Cache:       NewCache(4096, 32, 2),
+			Pattern:     &HotCold{HotBytes: 2048, ColdBytes: 1 << 18, HotProb: 0.85, WriteFrac: 0.3},
+			CyclePerRef: 0.05,
+		}
+	}
+	procs := make([]*Processor, 8)
+	for i := range procs {
+		procs[i] = mkProc()
+	}
+	rr, _ := core.ByName("RR1")
+	res := Run(MachineConfig{
+		Processors: procs,
+		Protocol:   rr,
+		Seed:       5,
+		Batches:    4, BatchSize: 2000,
+	})
+	if res.Bus.Completions != 8000 {
+		t.Fatalf("completions = %d", res.Bus.Completions)
+	}
+	for i, pr := range res.Progress {
+		if pr <= 0 {
+			t.Errorf("processor %d made no progress", i+1)
+		}
+		if res.MissRate[i] <= 0 || res.MissRate[i] >= 1 {
+			t.Errorf("processor %d miss rate %v", i+1, res.MissRate[i])
+		}
+	}
+	if s := res.SlowestRelative(); s < 0.8 || s > 1.0+1e-9 {
+		t.Errorf("RR slowest relative speed = %v, want near 1 (fair bus)", s)
+	}
+}
+
+// The §2.3 story, end to end: under a saturated bus, fixed-priority
+// arbitration slows the low-identity processors' application progress;
+// round-robin keeps them equal.
+func TestApplicationLevelFairness(t *testing.T) {
+	build := func(name string) *MachineResult {
+		procs := make([]*Processor, 6)
+		for i := range procs {
+			procs[i] = &Processor{
+				Cache:       NewCache(1024, 32, 1),
+				Pattern:     &Sequential{Stride: 16}, // streaming: heavy bus load
+				CyclePerRef: 0.05,
+			}
+		}
+		f, _ := core.ByName(name)
+		return Run(MachineConfig{
+			Processors: procs,
+			Protocol:   f,
+			Seed:       6,
+			Batches:    4, BatchSize: 2000,
+		})
+	}
+	rr := build("RR1")
+	fp := build("FP")
+	if s := rr.SlowestRelative(); s < 0.95 {
+		t.Errorf("RR slowest relative = %v, want ~1", s)
+	}
+	if s := fp.SlowestRelative(); s > 0.6 {
+		t.Errorf("FP slowest relative = %v, want heavily penalized", s)
+	}
+}
+
+func TestMachineConfigValidation(t *testing.T) {
+	rr, _ := core.ByName("RR1")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("single processor did not panic")
+			}
+		}()
+		Run(MachineConfig{Processors: []*Processor{{}}, Protocol: rr})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("incomplete processor did not panic")
+			}
+		}()
+		Run(MachineConfig{Processors: []*Processor{{}, {}}, Protocol: rr})
+	}()
+}

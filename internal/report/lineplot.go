@@ -1,0 +1,117 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one labeled curve for LinePlotSVG.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// linePalette cycles through distinguishable stroke styles.
+var linePalette = []struct {
+	color string
+	dash  string
+}{
+	{"#1f77b4", ""},
+	{"#d62728", "6 3"},
+	{"#2ca02c", "2 3"},
+	{"#9467bd", "8 3 2 3"},
+	{"#ff7f0e", ""},
+}
+
+// LinePlotSVG renders labeled series as a standalone SVG line chart
+// with linear axes starting at the origin.
+func LinePlotSVG(w io.Writer, title, xlabel, ylabel string, series []Series) error {
+	const (
+		width   = 640
+		height  = 420
+		mLeft   = 64
+		mRight  = 20
+		mTop    = 40
+		mBottom = 52
+	)
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	maxX, maxY := 0.0, 0.0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			return fmt.Errorf("report: series %q malformed", s.Label)
+		}
+		for i := range s.X {
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	if maxX <= 0 || maxY <= 0 {
+		return fmt.Errorf("report: degenerate axis range")
+	}
+	plotW := float64(width - mLeft - mRight)
+	plotH := float64(height - mTop - mBottom)
+	x := func(v float64) float64 { return mLeft + v/maxX*plotW }
+	y := func(v float64) float64 { return mTop + (1-v/maxY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="serif" font-size="16" text-anchor="middle">%s</text>`,
+		width/2, title)
+	// Axes and gridlines.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`,
+		mLeft, mTop+plotH, width-mRight, mTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="black"/>`,
+		mLeft, mTop, mLeft, mTop+plotH)
+	for i := 0; i <= 4; i++ {
+		v := maxY * float64(i) / 4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			mLeft, y(v), width-mRight, y(v))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="serif" font-size="12" text-anchor="end">%.1f</text>`,
+			mLeft-6, y(v)+4, v)
+	}
+	for i := 0; i <= 5; i++ {
+		v := maxX * float64(i) / 5
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="serif" font-size="12" text-anchor="middle">%.1f</text>`,
+			x(v), mTop+plotH+18, v)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="serif" font-size="13" text-anchor="middle">%s</text>`,
+		width/2, height-12, xlabel)
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+		(mTop+int(plotH))/2, (mTop+int(plotH))/2, ylabel)
+
+	// Curves and legend.
+	for i, s := range series {
+		style := linePalette[i%len(linePalette)]
+		var path strings.Builder
+		for j := range s.X {
+			cmd := 'L'
+			if j == 0 {
+				cmd = 'M'
+			}
+			fmt.Fprintf(&path, "%c%.1f %.1f ", cmd, x(s.X[j]), y(s.Y[j]))
+		}
+		dash := ""
+		if style.dash != "" {
+			dash = fmt.Sprintf(` stroke-dasharray="%s"`, style.dash)
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"%s/>`,
+			path.String(), style.color, dash)
+		ly := mTop + 16 + i*20
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`,
+			mLeft+20, ly, mLeft+50, ly, style.color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="serif" font-size="13">%s</text>`,
+			mLeft+56, ly+4, s.Label)
+	}
+	b.WriteString(`</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

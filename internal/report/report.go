@@ -1,0 +1,180 @@
+// Package report exports simulation results and experiment tables as
+// JSON and CSV, so the paper's figures can be regenerated with external
+// plotting tools and runs can be archived and diffed.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"busarb/internal/bussim"
+	"busarb/internal/experiment"
+	"busarb/internal/stats"
+)
+
+// ResultJSON is the serializable view of a simulation result.
+type ResultJSON struct {
+	Protocol     string       `json:"protocol"`
+	N            int          `json:"n"`
+	Seed         uint64       `json:"seed"`
+	Completions  int64        `json:"completions"`
+	Elapsed      float64      `json:"elapsed"`
+	Throughput   EstimateJSON `json:"throughput"`
+	Utilization  EstimateJSON `json:"utilization"`
+	WaitMean     EstimateJSON `json:"wait_mean"`
+	WaitStdDev   EstimateJSON `json:"wait_stddev"`
+	Agents       []AgentJSON  `json:"agents"`
+	Arbitrations int64        `json:"arbitrations"`
+	ExposedArbs  int64        `json:"exposed_arbitrations"`
+	Repasses     int64        `json:"repasses"`
+}
+
+// EstimateJSON serializes a batch-means estimate.
+type EstimateJSON struct {
+	Mean  float64 `json:"mean"`
+	HalfW float64 `json:"ci90_halfwidth"`
+}
+
+// AgentJSON is one agent's per-run summary.
+type AgentJSON struct {
+	ID         int          `json:"id"`
+	Throughput EstimateJSON `json:"throughput"`
+	WaitMean   float64      `json:"wait_mean"`
+	WaitStdDev float64      `json:"wait_stddev"`
+}
+
+func est(e stats.Estimate) EstimateJSON { return EstimateJSON{Mean: e.Mean, HalfW: e.HalfW} }
+
+// FromResult converts a simulation result to its serializable view.
+func FromResult(r *bussim.Result) ResultJSON {
+	out := ResultJSON{
+		Protocol:     r.ProtocolName,
+		N:            r.N,
+		Seed:         r.Seed,
+		Completions:  r.Completions,
+		Elapsed:      r.Elapsed,
+		Throughput:   est(r.Throughput),
+		Utilization:  est(r.Utilization),
+		WaitMean:     est(r.WaitMean),
+		WaitStdDev:   est(r.WaitStdDev),
+		Arbitrations: r.Arbitrations,
+		ExposedArbs:  r.ExposedArbs,
+		Repasses:     r.Repasses,
+	}
+	for i := range r.AgentThroughput {
+		out.Agents = append(out.Agents, AgentJSON{
+			ID:         i + 1,
+			Throughput: est(r.AgentThroughput[i]),
+			WaitMean:   r.AgentWait[i].Mean(),
+			WaitStdDev: r.AgentWait[i].StdDev(),
+		})
+	}
+	return out
+}
+
+// WriteResultJSON writes a simulation result as indented JSON.
+func WriteResultJSON(w io.Writer, r *bussim.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(FromResult(r))
+}
+
+// csvWrite writes a header and rows, converting each cell to a string.
+func csvWrite(w io.Writer, header []string, rows [][]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			rec[i] = strconv.FormatFloat(v, 'g', 6, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table41CSV exports Table 4.1 rows.
+func Table41CSV(w io.Writer, rows []experiment.Table41Row) error {
+	header := []string{"load", "lambda", "ratio_rr", "ratio_rr_ci", "ratio_fcfs", "ratio_fcfs_ci"}
+	hasAAP := len(rows) > 0 && rows[0].RatioAAP != nil
+	if hasAAP {
+		header = append(header, "ratio_aap", "ratio_aap_ci")
+	}
+	data := make([][]float64, len(rows))
+	for i, r := range rows {
+		row := []float64{r.Load, r.Lambda, r.RatioRR.Mean, r.RatioRR.HalfW, r.RatioFCFS.Mean, r.RatioFCFS.HalfW}
+		if hasAAP {
+			row = append(row, r.RatioAAP.Mean, r.RatioAAP.HalfW)
+		}
+		data[i] = row
+	}
+	return csvWrite(w, header, data)
+}
+
+// Table42CSV exports Table 4.2 rows.
+func Table42CSV(w io.Writer, rows []experiment.Table42Row) error {
+	header := []string{"load", "w", "sd_fcfs", "sd_fcfs_ci", "sd_rr", "sd_rr_ci", "sd_ratio"}
+	data := make([][]float64, len(rows))
+	for i, r := range rows {
+		data[i] = []float64{r.Load, r.W, r.SDFCFS.Mean, r.SDFCFS.HalfW, r.SDRR.Mean, r.SDRR.HalfW, r.SDRatio.Mean}
+	}
+	return csvWrite(w, header, data)
+}
+
+// Figure41CSV exports the Figure 4.1 CDF series.
+func Figure41CSV(w io.Writer, f experiment.Figure41Result) error {
+	header := []string{"x", "cdf_rr", "cdf_fcfs"}
+	data := make([][]float64, len(f.Points))
+	for i, p := range f.Points {
+		data[i] = []float64{p.X, p.RR, p.FCFS}
+	}
+	return csvWrite(w, header, data)
+}
+
+// Table43CSV exports Table 4.3 rows.
+func Table43CSV(w io.Writer, rows []experiment.Table43Row) error {
+	header := []string{"load", "w", "w_net_rr", "w_net_fcfs", "prod_rr", "prod_fcfs", "overlap"}
+	data := make([][]float64, len(rows))
+	for i, r := range rows {
+		data[i] = []float64{r.Load, r.W, r.WNetRR, r.WNetFCFS, r.ProdRR, r.ProdFCFS, r.Overlap}
+	}
+	return csvWrite(w, header, data)
+}
+
+// Table44CSV exports Table 4.4 rows.
+func Table44CSV(w io.Writer, rows []experiment.Table44Row) error {
+	header := []string{"load", "lambda", "load_ratio", "ratio_rr", "ratio_rr_ci", "ratio_fcfs", "ratio_fcfs_ci"}
+	data := make([][]float64, len(rows))
+	for i, r := range rows {
+		data[i] = []float64{r.Load, r.Lambda, r.LoadRatio, r.RatioRR.Mean, r.RatioRR.HalfW, r.RatioFCFS.Mean, r.RatioFCFS.HalfW}
+	}
+	return csvWrite(w, header, data)
+}
+
+// Table45CSV exports Table 4.5 rows.
+func Table45CSV(w io.Writer, rows []experiment.Table45Row) error {
+	header := []string{"cv", "load_ratio", "tput_ratio", "tput_ratio_ci"}
+	data := make([][]float64, len(rows))
+	for i, r := range rows {
+		data[i] = []float64{r.CV, r.LoadRatio, r.Ratio.Mean, r.Ratio.HalfW}
+	}
+	return csvWrite(w, header, data)
+}
+
+// TableJSON writes any experiment row slice as indented JSON.
+func TableJSON(w io.Writer, rows interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad ensures arbitrary input never panics the parser, and that
+// anything it accepts builds a usable simulator configuration.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte(valid))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"protocol":"RR1","agents":[{"count":2,"load":0.5}]}`))
+	f.Add([]byte(`{"protocol":"FCFS1","seed":9,"agents":[{"count":3,"load":0.01,"cv":0},{"count":1,"load":0.9}]}`))
+	f.Add([]byte(`{"protocol":"AAP2","service":2,"arb_overhead":0.5,"agents":[{"count":2,"load":0.3,"urgent_prob":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sf, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted scenarios must yield consistent, buildable configs.
+		cfg := sf.Config()
+		if cfg.N < 2 || len(cfg.Inter) != cfg.N {
+			t.Fatalf("accepted scenario built bad config: N=%d inter=%d", cfg.N, len(cfg.Inter))
+		}
+		for i, d := range cfg.Inter {
+			if d.Mean() <= 0 {
+				t.Fatalf("agent %d has non-positive mean interrequest %v", i+1, d.Mean())
+			}
+		}
+		if cfg.UrgentProb != nil && len(cfg.UrgentProb) != cfg.N {
+			t.Fatalf("urgent prob length %d != N %d", len(cfg.UrgentProb), cfg.N)
+		}
+	})
+}

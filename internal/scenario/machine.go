@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"busarb/internal/core"
+	"busarb/internal/mp"
+)
+
+// MachineFile is the on-disk format for a full multiprocessor scenario
+// (processors + caches + reference patterns), the internal/mp
+// counterpart of the plain agent scenario.
+//
+// Example:
+//
+//	{
+//	  "name": "smp-mixed",
+//	  "protocol": "RR1",
+//	  "cache_bytes": 8192, "block_bytes": 32, "ways": 2,
+//	  "processors": [
+//	    {"count": 4, "cycle_per_ref": 0.1,
+//	     "pattern": {"kind": "hotcold", "hot_bytes": 4096,
+//	                 "cold_bytes": 1048576, "hot_prob": 0.95,
+//	                 "write_frac": 0.3}},
+//	    {"count": 3, "cycle_per_ref": 0.12,
+//	     "pattern": {"kind": "sequential", "stride": 8, "write_frac": 0.5}}
+//	  ]
+//	}
+type MachineFile struct {
+	Name       string      `json:"name"`
+	Protocol   string      `json:"protocol"`
+	Seed       uint64      `json:"seed,omitempty"`
+	Batches    int         `json:"batches,omitempty"`
+	BatchSize  int         `json:"batch_size,omitempty"`
+	CacheBytes int         `json:"cache_bytes,omitempty"`
+	BlockBytes int         `json:"block_bytes,omitempty"`
+	Ways       int         `json:"ways,omitempty"`
+	Processors []ProcGroup `json:"processors"`
+}
+
+// ProcGroup describes a run of identical processors.
+type ProcGroup struct {
+	Count       int         `json:"count"`
+	CyclePerRef float64     `json:"cycle_per_ref"`
+	Pattern     PatternSpec `json:"pattern"`
+}
+
+// PatternSpec selects and parameterizes a reference pattern.
+type PatternSpec struct {
+	Kind      string  `json:"kind"` // "sequential", "workingset", "hotcold"
+	Stride    uint64  `json:"stride,omitempty"`
+	Bytes     uint64  `json:"bytes,omitempty"`
+	HotBytes  uint64  `json:"hot_bytes,omitempty"`
+	ColdBytes uint64  `json:"cold_bytes,omitempty"`
+	HotProb   float64 `json:"hot_prob,omitempty"`
+	WriteFrac float64 `json:"write_frac,omitempty"`
+	Base      uint64  `json:"base,omitempty"`
+}
+
+// build constructs a fresh pattern instance (patterns are stateful, so
+// each processor needs its own).
+func (s PatternSpec) build() (mp.Pattern, error) {
+	switch s.Kind {
+	case "sequential":
+		return &mp.Sequential{Stride: s.Stride, WriteFrac: s.WriteFrac}, nil
+	case "workingset":
+		if s.Bytes == 0 {
+			return nil, fmt.Errorf("scenario: workingset pattern needs bytes")
+		}
+		return &mp.WorkingSet{Bytes: s.Bytes, WriteFrac: s.WriteFrac, Base: s.Base}, nil
+	case "hotcold":
+		if s.HotBytes == 0 || s.ColdBytes == 0 {
+			return nil, fmt.Errorf("scenario: hotcold pattern needs hot_bytes and cold_bytes")
+		}
+		return &mp.HotCold{HotBytes: s.HotBytes, ColdBytes: s.ColdBytes,
+			HotProb: s.HotProb, WriteFrac: s.WriteFrac}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown pattern kind %q", s.Kind)
+}
+
+// LoadMachine parses and validates a machine scenario from r.
+func LoadMachine(r io.Reader) (*MachineFile, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f MachineFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Validate checks the machine scenario's invariants.
+func (f *MachineFile) Validate() error {
+	if f.Protocol == "" {
+		return fmt.Errorf("scenario %q: protocol required", f.Name)
+	}
+	if _, err := core.ByName(f.Protocol); err != nil {
+		return fmt.Errorf("scenario %q: %w", f.Name, err)
+	}
+	if len(f.Processors) == 0 {
+		return fmt.Errorf("scenario %q: at least one processor group required", f.Name)
+	}
+	total := 0
+	for i, g := range f.Processors {
+		if g.Count < 1 {
+			return fmt.Errorf("scenario %q: group %d: count %d < 1", f.Name, i, g.Count)
+		}
+		if g.CyclePerRef <= 0 {
+			return fmt.Errorf("scenario %q: group %d: cycle_per_ref must be positive", f.Name, i)
+		}
+		if _, err := g.Pattern.build(); err != nil {
+			return fmt.Errorf("scenario %q: group %d: %w", f.Name, i, err)
+		}
+		total += g.Count
+	}
+	if total < 2 {
+		return fmt.Errorf("scenario %q: need at least 2 processors, got %d", f.Name, total)
+	}
+	return nil
+}
+
+// Config builds the mp machine configuration. Valid only after a
+// successful Validate (LoadMachine validates automatically).
+func (f *MachineFile) Config() mp.MachineConfig {
+	factory, err := core.ByName(f.Protocol)
+	if err != nil {
+		panic(err)
+	}
+	cacheBytes := f.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = 8192
+	}
+	blockBytes := f.BlockBytes
+	if blockBytes == 0 {
+		blockBytes = 32
+	}
+	ways := f.Ways
+	if ways == 0 {
+		ways = 2
+	}
+	var procs []*mp.Processor
+	for _, g := range f.Processors {
+		for i := 0; i < g.Count; i++ {
+			pat, err := g.Pattern.build()
+			if err != nil {
+				panic(err) // Validate guarantees buildability
+			}
+			procs = append(procs, &mp.Processor{
+				Cache:       mp.NewCache(cacheBytes, blockBytes, ways),
+				Pattern:     pat,
+				CyclePerRef: g.CyclePerRef,
+			})
+		}
+	}
+	return mp.MachineConfig{
+		Processors: procs,
+		Protocol:   factory,
+		Seed:       f.Seed,
+		Batches:    f.Batches,
+		BatchSize:  f.BatchSize,
+	}
+}
+
+// IsMachineFile sniffs whether raw JSON looks like a machine scenario
+// (it has a "processors" key) rather than a plain agent scenario.
+func IsMachineFile(raw []byte) bool {
+	var probe struct {
+		Processors []json.RawMessage `json:"processors"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return false
+	}
+	return probe.Processors != nil
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"busarb/internal/mp"
+)
+
+const validMachine = `{
+  "name": "smp-mixed",
+  "protocol": "RR1",
+  "seed": 4,
+  "batches": 3,
+  "batch_size": 500,
+  "cache_bytes": 4096, "block_bytes": 32, "ways": 2,
+  "processors": [
+    {"count": 2, "cycle_per_ref": 0.1,
+     "pattern": {"kind": "hotcold", "hot_bytes": 2048, "cold_bytes": 1048576,
+                 "hot_prob": 0.9, "write_frac": 0.3}},
+    {"count": 2, "cycle_per_ref": 0.2,
+     "pattern": {"kind": "sequential", "stride": 8, "write_frac": 0.5}},
+    {"count": 1, "cycle_per_ref": 0.5,
+     "pattern": {"kind": "workingset", "bytes": 1048576}}
+  ]
+}`
+
+func TestLoadMachineValid(t *testing.T) {
+	f, err := LoadMachine(strings.NewReader(validMachine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := f.Config()
+	if len(cfg.Processors) != 5 {
+		t.Fatalf("processors = %d", len(cfg.Processors))
+	}
+	// Each processor gets its own pattern and cache instance.
+	if cfg.Processors[0].Pattern == cfg.Processors[1].Pattern {
+		t.Error("processors share a pattern instance")
+	}
+	if cfg.Processors[0].Cache == cfg.Processors[1].Cache {
+		t.Error("processors share a cache")
+	}
+	if cfg.Processors[0].Cache.BlockBytes() != 32 {
+		t.Errorf("block = %d", cfg.Processors[0].Cache.BlockBytes())
+	}
+	if _, ok := cfg.Processors[4].Pattern.(*mp.WorkingSet); !ok {
+		t.Errorf("last pattern = %T", cfg.Processors[4].Pattern)
+	}
+}
+
+func TestLoadedMachineRuns(t *testing.T) {
+	f, err := LoadMachine(strings.NewReader(validMachine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mp.Run(f.Config())
+	if res.Bus.Completions != 1500 {
+		t.Errorf("completions = %d", res.Bus.Completions)
+	}
+	for i, p := range res.Progress {
+		if p <= 0 {
+			t.Errorf("processor %d made no progress", i+1)
+		}
+	}
+}
+
+func TestLoadMachineErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"no protocol":   `{"processors":[{"count":2,"cycle_per_ref":1,"pattern":{"kind":"sequential"}}]}`,
+		"bad protocol":  `{"protocol":"XX","processors":[{"count":2,"cycle_per_ref":1,"pattern":{"kind":"sequential"}}]}`,
+		"no processors": `{"protocol":"RR1","processors":[]}`,
+		"zero count":    `{"protocol":"RR1","processors":[{"count":0,"cycle_per_ref":1,"pattern":{"kind":"sequential"}}]}`,
+		"zero cycle":    `{"protocol":"RR1","processors":[{"count":2,"cycle_per_ref":0,"pattern":{"kind":"sequential"}}]}`,
+		"bad pattern":   `{"protocol":"RR1","processors":[{"count":2,"cycle_per_ref":1,"pattern":{"kind":"zigzag"}}]}`,
+		"ws no bytes":   `{"protocol":"RR1","processors":[{"count":2,"cycle_per_ref":1,"pattern":{"kind":"workingset"}}]}`,
+		"hc no sizes":   `{"protocol":"RR1","processors":[{"count":2,"cycle_per_ref":1,"pattern":{"kind":"hotcold"}}]}`,
+		"single proc":   `{"protocol":"RR1","processors":[{"count":1,"cycle_per_ref":1,"pattern":{"kind":"sequential"}}]}`,
+		"unknown field": `{"protocol":"RR1","zap":1,"processors":[{"count":2,"cycle_per_ref":1,"pattern":{"kind":"sequential"}}]}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadMachine(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestIsMachineFile(t *testing.T) {
+	if !IsMachineFile([]byte(validMachine)) {
+		t.Error("machine file not detected")
+	}
+	if IsMachineFile([]byte(valid)) {
+		t.Error("agent scenario misdetected as machine")
+	}
+	if IsMachineFile([]byte("not json")) {
+		t.Error("garbage misdetected")
+	}
+}

@@ -1,0 +1,176 @@
+// Package scenario loads simulation scenarios from JSON files, so that
+// cmd/arbsim (and downstream users) can describe heterogeneous agent
+// populations without writing Go. A scenario names the protocol, the
+// statistical effort, and groups of agents with per-group offered load,
+// interrequest CV, and urgent-request probability.
+//
+// Example:
+//
+//	{
+//	  "name": "cpu-cluster-with-dma",
+//	  "protocol": "FCFS2",
+//	  "seed": 7,
+//	  "agents": [
+//	    {"count": 15, "load": 0.05, "cv": 1.0},
+//	    {"count": 1,  "load": 0.20, "cv": 0.5, "urgent_prob": 0.1}
+//	  ]
+//	}
+//
+// Agent identities are assigned in file order, starting at 1.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"busarb/internal/bussim"
+	"busarb/internal/core"
+	"busarb/internal/dist"
+)
+
+// Group describes a run of identical agents.
+type Group struct {
+	// Count is the number of agents in the group (>= 1).
+	Count int `json:"count"`
+	// Load is each agent's offered load, in (0, 1).
+	Load float64 `json:"load"`
+	// CV is the interrequest coefficient of variation (default 1.0;
+	// note that 0 means deterministic, so the default applies only
+	// when the field is absent).
+	CV *float64 `json:"cv,omitempty"`
+	// UrgentProb is the probability a request is urgent (default 0).
+	UrgentProb float64 `json:"urgent_prob,omitempty"`
+}
+
+// File is the on-disk scenario format.
+type File struct {
+	Name      string  `json:"name"`
+	Protocol  string  `json:"protocol"`
+	Seed      uint64  `json:"seed,omitempty"`
+	Batches   int     `json:"batches,omitempty"`
+	BatchSize int     `json:"batch_size,omitempty"`
+	Service   float64 `json:"service,omitempty"`
+	ArbOvh    float64 `json:"arb_overhead,omitempty"`
+	Agents    []Group `json:"agents"`
+}
+
+// Load parses and validates a scenario from r.
+func Load(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Validate checks the scenario's invariants.
+func (f *File) Validate() error {
+	if f.Protocol == "" {
+		return fmt.Errorf("scenario %q: protocol required", f.Name)
+	}
+	if _, err := core.ByName(f.Protocol); err != nil {
+		return fmt.Errorf("scenario %q: %w", f.Name, err)
+	}
+	if len(f.Agents) == 0 {
+		return fmt.Errorf("scenario %q: at least one agent group required", f.Name)
+	}
+	total := 0
+	for i, g := range f.Agents {
+		if g.Count < 1 {
+			return fmt.Errorf("scenario %q: group %d: count %d < 1", f.Name, i, g.Count)
+		}
+		if g.Load <= 0 || g.Load >= 1 {
+			return fmt.Errorf("scenario %q: group %d: per-agent load %v outside (0,1)", f.Name, i, g.Load)
+		}
+		if g.CV != nil && *g.CV < 0 {
+			return fmt.Errorf("scenario %q: group %d: cv %v < 0", f.Name, i, *g.CV)
+		}
+		if g.UrgentProb < 0 || g.UrgentProb > 1 {
+			return fmt.Errorf("scenario %q: group %d: urgent_prob %v outside [0,1]", f.Name, i, g.UrgentProb)
+		}
+		total += g.Count
+	}
+	if total < 2 {
+		return fmt.Errorf("scenario %q: need at least 2 agents, got %d", f.Name, total)
+	}
+	if f.Service < 0 || f.ArbOvh < 0 {
+		return fmt.Errorf("scenario %q: negative timing parameters", f.Name)
+	}
+	if f.Service > 0 && f.ArbOvh > f.Service {
+		return fmt.Errorf("scenario %q: arbitration overhead %v exceeds service %v", f.Name, f.ArbOvh, f.Service)
+	}
+	return nil
+}
+
+// N returns the total agent count.
+func (f *File) N() int {
+	n := 0
+	for _, g := range f.Agents {
+		n += g.Count
+	}
+	return n
+}
+
+// TotalLoad returns the summed offered load.
+func (f *File) TotalLoad() float64 {
+	t := 0.0
+	for _, g := range f.Agents {
+		t += float64(g.Count) * g.Load
+	}
+	return t
+}
+
+// Config builds the simulator configuration. It is valid only after a
+// successful Validate (Load validates automatically).
+func (f *File) Config() bussim.Config {
+	factory, err := core.ByName(f.Protocol)
+	if err != nil {
+		panic(err) // Validate guarantees the name resolves
+	}
+	service := f.Service
+	if service == 0 {
+		service = 1.0
+	}
+	cfg := bussim.Config{
+		N:           f.N(),
+		Protocol:    factory,
+		Service:     f.Service,
+		ArbOverhead: f.ArbOvh,
+		Seed:        f.Seed,
+		Batches:     f.Batches,
+		BatchSize:   f.BatchSize,
+	}
+	anyUrgent := false
+	for _, g := range f.Agents {
+		if g.UrgentProb > 0 {
+			anyUrgent = true
+		}
+	}
+	var urgent []float64
+	if anyUrgent {
+		urgent = make([]float64, 0, cfg.N)
+	}
+	inter := make([]dist.Sampler, 0, cfg.N)
+	for _, g := range f.Agents {
+		cv := 1.0
+		if g.CV != nil {
+			cv = *g.CV
+		}
+		mean := bussim.MeanForLoad(g.Load, service)
+		for i := 0; i < g.Count; i++ {
+			inter = append(inter, dist.ByCV(mean, cv))
+			if anyUrgent {
+				urgent = append(urgent, g.UrgentProb)
+			}
+		}
+	}
+	cfg.Inter = inter
+	cfg.UrgentProb = urgent
+	return cfg
+}

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"busarb/internal/bussim"
+)
+
+const valid = `{
+  "name": "cpu-cluster-with-dma",
+  "protocol": "FCFS2",
+  "seed": 7,
+  "batches": 4,
+  "batch_size": 500,
+  "agents": [
+    {"count": 15, "load": 0.05, "cv": 1.0},
+    {"count": 1,  "load": 0.20, "cv": 0.5, "urgent_prob": 0.1}
+  ]
+}`
+
+func TestLoadValid(t *testing.T) {
+	f, err := Load(strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 16 {
+		t.Errorf("N = %d", f.N())
+	}
+	if math.Abs(f.TotalLoad()-(15*0.05+0.20)) > 1e-12 {
+		t.Errorf("TotalLoad = %v", f.TotalLoad())
+	}
+	cfg := f.Config()
+	if cfg.N != 16 || len(cfg.Inter) != 16 {
+		t.Fatalf("config N/len = %d/%d", cfg.N, len(cfg.Inter))
+	}
+	// Group order: agents 1..15 at load 0.05 (mean 19), agent 16 at
+	// load 0.2 (mean 4).
+	if math.Abs(cfg.Inter[0].Mean()-19) > 1e-9 {
+		t.Errorf("agent 1 mean = %v, want 19", cfg.Inter[0].Mean())
+	}
+	if math.Abs(cfg.Inter[15].Mean()-4) > 1e-9 {
+		t.Errorf("agent 16 mean = %v, want 4", cfg.Inter[15].Mean())
+	}
+	if cfg.Inter[15].CV() != 0.5 {
+		t.Errorf("agent 16 cv = %v", cfg.Inter[15].CV())
+	}
+	if len(cfg.UrgentProb) != 16 || cfg.UrgentProb[15] != 0.1 || cfg.UrgentProb[0] != 0 {
+		t.Errorf("urgent probs = %v", cfg.UrgentProb)
+	}
+}
+
+func TestLoadedScenarioRuns(t *testing.T) {
+	f, err := Load(strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bussim.Run(f.Config())
+	if res.Completions != 2000 {
+		t.Errorf("completions = %d", res.Completions)
+	}
+	if res.ProtocolName != "FCFS2" {
+		t.Errorf("protocol = %s", res.ProtocolName)
+	}
+}
+
+func TestDefaultCVIsExponential(t *testing.T) {
+	f, err := Load(strings.NewReader(`{
+	  "protocol": "RR1",
+	  "agents": [{"count": 3, "load": 0.1}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := f.Config()
+	if cfg.Inter[0].CV() != 1.0 {
+		t.Errorf("default cv = %v, want 1", cfg.Inter[0].CV())
+	}
+	if cfg.UrgentProb != nil {
+		t.Error("UrgentProb should be nil when nobody is urgent")
+	}
+}
+
+func TestExplicitCVZeroIsDeterministic(t *testing.T) {
+	f, err := Load(strings.NewReader(`{
+	  "protocol": "RR1",
+	  "agents": [{"count": 2, "load": 0.1, "cv": 0}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv := f.Config().Inter[0].CV(); cv != 0 {
+		t.Errorf("cv = %v, want 0 (explicit zero must not default)", cv)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":         `{`,
+		"unknown field":    `{"protocol":"RR1","agents":[{"count":2,"load":0.1}],"nope":1}`,
+		"missing protocol": `{"agents":[{"count":2,"load":0.1}]}`,
+		"unknown protocol": `{"protocol":"XX","agents":[{"count":2,"load":0.1}]}`,
+		"no agents":        `{"protocol":"RR1","agents":[]}`,
+		"zero count":       `{"protocol":"RR1","agents":[{"count":0,"load":0.1}]}`,
+		"load too high":    `{"protocol":"RR1","agents":[{"count":2,"load":1.0}]}`,
+		"load zero":        `{"protocol":"RR1","agents":[{"count":2,"load":0}]}`,
+		"negative cv":      `{"protocol":"RR1","agents":[{"count":2,"load":0.1,"cv":-1}]}`,
+		"bad urgent":       `{"protocol":"RR1","agents":[{"count":2,"load":0.1,"urgent_prob":2}]}`,
+		"single agent":     `{"protocol":"RR1","agents":[{"count":1,"load":0.1}]}`,
+		"arb > service":    `{"protocol":"RR1","service":1,"arb_overhead":2,"agents":[{"count":2,"load":0.1}]}`,
+		"negative service": `{"protocol":"RR1","service":-1,"agents":[{"count":2,"load":0.1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCustomServiceTime(t *testing.T) {
+	f, err := Load(strings.NewReader(`{
+	  "protocol": "RR1",
+	  "service": 2.0,
+	  "arb_overhead": 1.0,
+	  "agents": [{"count": 2, "load": 0.25}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := f.Config()
+	// load 0.25 with service 2: mean interrequest = 6.
+	if math.Abs(cfg.Inter[0].Mean()-6) > 1e-9 {
+		t.Errorf("mean = %v, want 6", cfg.Inter[0].Mean())
+	}
+	if cfg.Service != 2.0 || cfg.ArbOverhead != 1.0 {
+		t.Errorf("timing = %v/%v", cfg.Service, cfg.ArbOverhead)
+	}
+}

@@ -1,0 +1,106 @@
+// Package sim provides a minimal discrete-event scheduler: a time-ordered
+// event queue with deterministic FIFO tie-breaking for simultaneous
+// events. Both the queueing-level bus simulator (package bussim) and the
+// cycle-level bus model (package cyclesim) run on it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Scheduler is a discrete-event clock and pending-event queue. The zero
+// value is ready to use at time 0.
+type Scheduler struct {
+	now   float64
+	seq   uint64
+	queue eventHeap
+}
+
+type event struct {
+	time float64
+	seq  uint64 // schedule order; breaks ties deterministically (FIFO)
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Pending returns the number of scheduled events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it
+// would silently corrupt causality.
+func (s *Scheduler) At(t float64, fn func()) {
+	if t < s.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.queue.pushEvent(event{time: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// After schedules fn at now+d (d must be >= 0).
+func (s *Scheduler) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the next event, advancing the clock to its time. It reports
+// whether an event was run.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(event)
+	s.now = e.time
+	e.fn()
+	return true
+}
+
+// RunUntil processes events with time <= t, then advances the clock to
+// exactly t.
+func (s *Scheduler) RunUntil(t float64) {
+	for len(s.queue) > 0 && s.queue[0].time <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Run processes events until the queue empties or stop returns true
+// (checked before each event). A nil stop runs to exhaustion.
+func (s *Scheduler) Run(stop func() bool) {
+	for len(s.queue) > 0 {
+		if stop != nil && stop() {
+			return
+		}
+		s.Step()
+	}
+}
+
+// Reset discards all pending events and rewinds the clock to zero.
+func (s *Scheduler) Reset() {
+	s.now = 0
+	s.seq = 0
+	s.queue = s.queue[:0]
+}

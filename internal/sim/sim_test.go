@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"busarb/internal/rng"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var s Scheduler
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run(nil)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var s Scheduler
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run(nil)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var s Scheduler
+	fired := -1.0
+	s.At(2, func() {
+		s.After(0.5, func() { fired = s.Now() })
+	})
+	s.Run(nil)
+	if fired != 2.5 {
+		t.Errorf("fired at %v, want 2.5", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var s Scheduler
+	s.At(5, func() {})
+	s.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() { count++ })
+	}
+	s.RunUntil(5)
+	if count != 5 {
+		t.Errorf("processed %d events, want 5", count)
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now = %v, want 5", s.Now())
+	}
+	s.RunUntil(20)
+	if count != 10 || s.Now() != 20 {
+		t.Errorf("count=%d Now=%v", count, s.Now())
+	}
+}
+
+func TestRunWithStop(t *testing.T) {
+	var s Scheduler
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() { count++ })
+	}
+	s.Run(func() bool { return count >= 3 })
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Errorf("Pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Scheduler
+	s.At(1, func() {})
+	s.Step()
+	s.At(9, func() {})
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 {
+		t.Error("Reset incomplete")
+	}
+	ran := false
+	s.At(0.5, func() { ran = true })
+	s.Run(nil)
+	if !ran {
+		t.Error("scheduler unusable after Reset")
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless
+// of insertion order, including events scheduled from within events.
+func TestMonotoneClockProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		var s Scheduler
+		var times []float64
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			times = append(times, s.Now())
+			if depth < 3 && src.Intn(2) == 0 {
+				s.After(src.Float64()*5, func() { schedule(depth + 1) })
+			}
+		}
+		for i := 0; i < 30; i++ {
+			s.At(src.Float64()*100, func() { schedule(0) })
+		}
+		s.Run(nil)
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	var s Scheduler
+	for i := 0; i < b.N; i++ {
+		s.After(1, func() {})
+		s.Step()
+	}
+}

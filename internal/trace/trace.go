@@ -1,0 +1,169 @@
+// Package trace records structured simulation events — request
+// arrivals, arbitrations, grants, completions — for debugging,
+// visualization, and the §2.1 observation that the arbiter's state "is
+// available and can be monitored on the bus ... useful for software
+// initialization of the system and for diagnosing system failures".
+//
+// A Recorder is attached to a simulation via bussim.Config.Trace; each
+// event is forwarded to a Sink. Sinks included: an in-memory buffer
+// (for tests and analysis) and a text writer (for humans). Events carry
+// enough to reconstruct the full bus schedule.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind enumerates event types.
+type Kind int
+
+// Event kinds, in rough lifecycle order of a request.
+const (
+	// Request: an agent asserted the bus request line.
+	Request Kind = iota
+	// ArbStart: an arbitration began (Agents = request-line snapshot).
+	ArbStart
+	// ArbResolve: an arbitration resolved (Agent = winner).
+	ArbResolve
+	// ArbRepass: an empty RR3 pass occurred; a new pass follows.
+	ArbRepass
+	// Grant: an agent became bus master.
+	Grant
+	// Complete: a bus transaction finished.
+	Complete
+)
+
+// String returns the event kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Request:
+		return "request"
+	case ArbStart:
+		return "arb-start"
+	case ArbResolve:
+		return "arb-resolve"
+	case ArbRepass:
+		return "arb-repass"
+	case Grant:
+		return "grant"
+	case Complete:
+		return "complete"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one simulation occurrence.
+type Event struct {
+	Time   float64
+	Kind   Kind
+	Agent  int   // the acting agent, 0 when not applicable
+	Agents []int // arbitration snapshot (ArbStart only)
+	Urgent bool  // request class (Request only)
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	switch e.Kind {
+	case ArbStart:
+		return fmt.Sprintf("%10.2f  %-11s competitors=%v", e.Time, e.Kind, e.Agents)
+	case Request:
+		u := ""
+		if e.Urgent {
+			u = " urgent"
+		}
+		return fmt.Sprintf("%10.2f  %-11s agent=%d%s", e.Time, e.Kind, e.Agent, u)
+	case ArbRepass:
+		return fmt.Sprintf("%10.2f  %-11s", e.Time, e.Kind)
+	default:
+		return fmt.Sprintf("%10.2f  %-11s agent=%d", e.Time, e.Kind, e.Agent)
+	}
+}
+
+// Sink consumes events.
+type Sink interface {
+	Record(e Event)
+}
+
+// Buffer is an in-memory Sink, safe for concurrent use.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+	// Cap bounds memory; 0 means unbounded. When full, the oldest
+	// events are dropped (a ring of the most recent activity, which is
+	// what post-mortem debugging wants).
+	Cap int
+}
+
+// Record implements Sink.
+func (b *Buffer) Record(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = append(b.events, e)
+	if b.Cap > 0 && len(b.events) > b.Cap {
+		drop := len(b.events) - b.Cap
+		b.events = append(b.events[:0], b.events[drop:]...)
+	}
+}
+
+// Events returns a copy of the recorded events.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Reset discards all buffered events.
+func (b *Buffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = b.events[:0]
+}
+
+// Writer is a Sink that renders each event as a text line.
+type Writer struct {
+	W io.Writer
+	// Err holds the first write error; subsequent events are dropped.
+	Err error
+}
+
+// Record implements Sink.
+func (w *Writer) Record(e Event) {
+	if w.Err != nil {
+		return
+	}
+	_, w.Err = fmt.Fprintln(w.W, e.String())
+}
+
+// Multi fans events out to several sinks.
+type Multi []Sink
+
+// Record implements Sink.
+func (m Multi) Record(e Event) {
+	for _, s := range m {
+		s.Record(e)
+	}
+}
+
+// Filter forwards only events whose kind is enabled.
+type Filter struct {
+	Next  Sink
+	Kinds map[Kind]bool
+}
+
+// Record implements Sink.
+func (f *Filter) Record(e Event) {
+	if f.Kinds[e.Kind] {
+		f.Next.Record(e)
+	}
+}

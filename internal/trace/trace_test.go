@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		Request: "request", ArbStart: "arb-start", ArbResolve: "arb-resolve",
+		ArbRepass: "arb-repass", Grant: "grant", Complete: "complete",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Errorf("unknown kind = %q", Kind(42).String())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Time: 1.5, Kind: Request, Agent: 3}, "request"},
+		{Event{Time: 1.5, Kind: Request, Agent: 3, Urgent: true}, "urgent"},
+		{Event{Time: 2, Kind: ArbStart, Agents: []int{1, 3}}, "[1 3]"},
+		{Event{Time: 2, Kind: Grant, Agent: 7}, "agent=7"},
+		{Event{Time: 2, Kind: ArbRepass}, "arb-repass"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String() = %q, want substring %q", got, c.want)
+		}
+	}
+}
+
+func TestBuffer(t *testing.T) {
+	var b Buffer
+	for i := 0; i < 5; i++ {
+		b.Record(Event{Time: float64(i), Kind: Grant, Agent: i})
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	evs := b.Events()
+	evs[0].Agent = 99 // must not affect the buffer (copy)
+	if b.Events()[0].Agent == 99 {
+		t.Error("Events() exposed internal slice")
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestBufferCapDropsOldest(t *testing.T) {
+	b := Buffer{Cap: 3}
+	for i := 0; i < 10; i++ {
+		b.Record(Event{Time: float64(i)})
+	}
+	evs := b.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	if evs[0].Time != 7 || evs[2].Time != 9 {
+		t.Errorf("kept %v..%v, want most recent 7..9", evs[0].Time, evs[2].Time)
+	}
+}
+
+func TestWriter(t *testing.T) {
+	var sb strings.Builder
+	w := Writer{W: &sb}
+	w.Record(Event{Time: 3.25, Kind: Grant, Agent: 2})
+	w.Record(Event{Time: 4.25, Kind: Complete, Agent: 2})
+	out := sb.String()
+	if !strings.Contains(out, "grant") || !strings.Contains(out, "complete") {
+		t.Errorf("output:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("want 2 lines, got %q", out)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errors.New("disk full")
+}
+
+func TestWriterStopsAfterError(t *testing.T) {
+	fw := &failWriter{}
+	w := Writer{W: fw}
+	w.Record(Event{Kind: Grant})
+	w.Record(Event{Kind: Grant})
+	if w.Err == nil {
+		t.Fatal("error not captured")
+	}
+	if fw.n != 1 {
+		t.Errorf("writes after error: %d", fw.n)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	var a, b Buffer
+	m := Multi{&a, &b}
+	m.Record(Event{Kind: Grant, Agent: 1})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Error("Multi did not fan out")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	var b Buffer
+	f := Filter{Next: &b, Kinds: map[Kind]bool{Grant: true}}
+	f.Record(Event{Kind: Grant})
+	f.Record(Event{Kind: Request})
+	f.Record(Event{Kind: Complete})
+	if b.Len() != 1 || b.Events()[0].Kind != Grant {
+		t.Errorf("filtered events: %v", b.Events())
+	}
+}

@@ -1,0 +1,133 @@
+// Package wiredor models open-collector ("wired-OR") bus lines, the
+// electrical substrate of the parallel contention arbiter (§2 of the
+// paper). Each line is tied high conceptually and carries the logical OR
+// of the signals applied by all agents: any agent can assert a "1"; the
+// line reads "0" only when every agent releases it.
+package wiredor
+
+import "fmt"
+
+// Line is one wired-OR bus line shared by a fixed set of agents.
+type Line struct {
+	name     string
+	drivers  []bool
+	asserted int
+}
+
+// NewLine creates a line shared by the given number of agents, all
+// initially releasing it.
+func NewLine(name string, agents int) *Line {
+	if agents <= 0 {
+		panic(fmt.Sprintf("wiredor: line %q needs at least one agent", name))
+	}
+	return &Line{name: name, drivers: make([]bool, agents)}
+}
+
+// Name returns the line's label (e.g. "BREQ", "AB3").
+func (l *Line) Name() string { return l.name }
+
+// Agents returns the number of agents attached to the line.
+func (l *Line) Agents() int { return len(l.drivers) }
+
+// Set makes agent drive (true, "assert") or release (false) the line.
+func (l *Line) Set(agent int, v bool) {
+	if l.drivers[agent] == v {
+		return
+	}
+	l.drivers[agent] = v
+	if v {
+		l.asserted++
+	} else {
+		l.asserted--
+	}
+}
+
+// Value returns the wired-OR of all applied signals.
+func (l *Line) Value() bool { return l.asserted > 0 }
+
+// DriverCount returns how many agents are currently asserting the line.
+// (Real open-collector lines don't expose this; it exists for tests and
+// trace output.)
+func (l *Line) DriverCount() int { return l.asserted }
+
+// Driving reports whether the given agent is asserting the line.
+func (l *Line) Driving(agent int) bool { return l.drivers[agent] }
+
+// ReleaseAll makes every agent release the line.
+func (l *Line) ReleaseAll() {
+	for i := range l.drivers {
+		l.drivers[i] = false
+	}
+	l.asserted = 0
+}
+
+// Bank is an ordered group of wired-OR lines carrying a multi-bit
+// arbitration number, most-significant line first (the paper's
+// "arbitration lines").
+type Bank struct {
+	lines []*Line
+}
+
+// NewBank creates width lines named name0..name<width-1>, MSB first.
+func NewBank(name string, width, agents int) *Bank {
+	if width <= 0 {
+		panic(fmt.Sprintf("wiredor: bank %q needs positive width", name))
+	}
+	b := &Bank{lines: make([]*Line, width)}
+	for i := range b.lines {
+		b.lines[i] = NewLine(fmt.Sprintf("%s%d", name, i), agents)
+	}
+	return b
+}
+
+// Width returns the number of lines in the bank.
+func (b *Bank) Width() int { return len(b.lines) }
+
+// Line returns the i-th line (0 = most significant).
+func (b *Bank) Line(i int) *Line { return b.lines[i] }
+
+// Apply drives the bank with the given MSB-first bit pattern for one
+// agent. The pattern length must equal the bank width.
+func (b *Bank) Apply(agent int, bits []bool) {
+	if len(bits) != len(b.lines) {
+		panic(fmt.Sprintf("wiredor: pattern width %d != bank width %d", len(bits), len(b.lines)))
+	}
+	for i, v := range bits {
+		b.lines[i].Set(agent, v)
+	}
+}
+
+// Release makes the agent release every line in the bank.
+func (b *Bank) Release(agent int) {
+	for _, l := range b.lines {
+		l.Set(agent, false)
+	}
+}
+
+// Values returns the wired-OR value of each line, MSB first.
+func (b *Bank) Values() []bool {
+	out := make([]bool, len(b.lines))
+	for i, l := range b.lines {
+		out[i] = l.Value()
+	}
+	return out
+}
+
+// Value returns the bank's wired-OR contents as an unsigned integer.
+func (b *Bank) Value() uint64 {
+	var v uint64
+	for _, l := range b.lines {
+		v <<= 1
+		if l.Value() {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// ReleaseAll releases every line for every agent.
+func (b *Bank) ReleaseAll() {
+	for _, l := range b.lines {
+		l.ReleaseAll()
+	}
+}

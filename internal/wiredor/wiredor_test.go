@@ -1,0 +1,171 @@
+package wiredor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineWiredOR(t *testing.T) {
+	l := NewLine("BREQ", 4)
+	if l.Value() {
+		t.Fatal("idle line should read 0")
+	}
+	l.Set(1, true)
+	if !l.Value() {
+		t.Fatal("asserted line should read 1")
+	}
+	l.Set(3, true)
+	l.Set(1, false)
+	if !l.Value() {
+		t.Fatal("line must stay 1 while any agent asserts")
+	}
+	l.Set(3, false)
+	if l.Value() {
+		t.Fatal("line must drop when all agents release")
+	}
+}
+
+func TestLineIdempotentSet(t *testing.T) {
+	l := NewLine("X", 2)
+	l.Set(0, true)
+	l.Set(0, true)
+	if l.DriverCount() != 1 {
+		t.Fatalf("DriverCount = %d after double assert", l.DriverCount())
+	}
+	l.Set(0, false)
+	l.Set(0, false)
+	if l.DriverCount() != 0 || l.Value() {
+		t.Fatal("double release corrupted count")
+	}
+}
+
+func TestLineDriving(t *testing.T) {
+	l := NewLine("X", 3)
+	l.Set(2, true)
+	if !l.Driving(2) || l.Driving(0) {
+		t.Fatal("Driving misreports")
+	}
+	if l.Name() != "X" || l.Agents() != 3 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestLineReleaseAll(t *testing.T) {
+	l := NewLine("X", 3)
+	l.Set(0, true)
+	l.Set(2, true)
+	l.ReleaseAll()
+	if l.Value() || l.DriverCount() != 0 || l.Driving(0) {
+		t.Fatal("ReleaseAll left state behind")
+	}
+}
+
+func TestNewLinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLine with 0 agents did not panic")
+		}
+	}()
+	NewLine("X", 0)
+}
+
+// Property: a line's value is exactly the OR of its drivers' states.
+func TestLineValueIsOR(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const agents = 8
+		l := NewLine("P", agents)
+		want := [agents]bool{}
+		for _, op := range ops {
+			agent := int(op % agents)
+			assert := op&0x80 != 0
+			l.Set(agent, assert)
+			want[agent] = assert
+		}
+		or := false
+		n := 0
+		for i, w := range want {
+			or = or || w
+			if w {
+				n++
+			}
+			if l.Driving(i) != w {
+				return false
+			}
+		}
+		return l.Value() == or && l.DriverCount() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankApplyAndValue(t *testing.T) {
+	b := NewBank("AB", 4, 3)
+	if b.Width() != 4 {
+		t.Fatalf("Width = %d", b.Width())
+	}
+	b.Apply(0, []bool{true, false, true, false}) // 1010
+	b.Apply(1, []bool{false, false, true, true}) // 0011
+	if got := b.Value(); got != 0b1011 {
+		t.Errorf("Value = %04b, want 1011 (wired-OR)", got)
+	}
+	vals := b.Values()
+	want := []bool{true, false, true, true}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("Values[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+	b.Release(0)
+	if got := b.Value(); got != 0b0011 {
+		t.Errorf("after Release(0), Value = %04b, want 0011", got)
+	}
+	b.ReleaseAll()
+	if b.Value() != 0 {
+		t.Error("ReleaseAll left lines asserted")
+	}
+}
+
+func TestBankLineNames(t *testing.T) {
+	b := NewBank("AB", 3, 1)
+	if b.Line(0).Name() != "AB0" || b.Line(2).Name() != "AB2" {
+		t.Errorf("line names %q, %q", b.Line(0).Name(), b.Line(2).Name())
+	}
+}
+
+func TestBankApplyWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Apply with wrong width did not panic")
+		}
+	}()
+	NewBank("AB", 3, 1).Apply(0, []bool{true})
+}
+
+func TestNewBankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBank with width 0 did not panic")
+		}
+	}()
+	NewBank("AB", 0, 1)
+}
+
+// Property: the bank value is the bitwise OR of all applied patterns.
+func TestBankValueIsBitwiseOR(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		bank := NewBank("AB", 8, 3)
+		patterns := []uint8{a, b, c}
+		for agent, p := range patterns {
+			bits := make([]bool, 8)
+			for i := 0; i < 8; i++ {
+				bits[i] = p&(1<<uint(7-i)) != 0
+			}
+			bank.Apply(agent, bits)
+		}
+		return bank.Value() == uint64(a|b|c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"busarb/internal/bussim"
+)
+
+func TestEqual(t *testing.T) {
+	s := Equal(10, 2.5, 1.0)
+	if s.N != 10 || len(s.Inter) != 10 {
+		t.Fatalf("N/len = %d/%d", s.N, len(s.Inter))
+	}
+	if math.Abs(s.TotalLoad-2.5) > 1e-12 {
+		t.Errorf("TotalLoad = %v", s.TotalLoad)
+	}
+	for _, d := range s.Inter {
+		if math.Abs(d.Mean()-3.0) > 1e-12 {
+			t.Errorf("mean = %v, want 3.0", d.Mean())
+		}
+	}
+}
+
+func TestOneScaledPaperTotals(t *testing.T) {
+	// Table 4.4(a): base loads {0.25, 0.5, 1.0, ...} with factor 2 give
+	// total loads {0.26, 0.52, 1.03, ...}; factor 4 gives {0.28, ...}.
+	cases := []struct {
+		base, factor, wantTotal float64
+	}{
+		{0.25, 2, 0.26}, {0.50, 2, 0.52}, {1.00, 2, 1.03}, {2.00, 2, 2.07},
+		{0.25, 4, 0.28}, {0.50, 4, 0.55}, {1.00, 4, 1.10}, {5.00, 4, 5.50},
+	}
+	for _, c := range cases {
+		s := OneScaled(30, c.base, c.factor, 1.0)
+		if math.Abs(s.TotalLoad-c.wantTotal) > 0.006 {
+			t.Errorf("base %v x%v: total = %.3f, paper %v", c.base, c.factor, s.TotalLoad, c.wantTotal)
+		}
+		// Agent 1's rate is factor times agent 2's.
+		r1 := 1 / (1 + s.Inter[0].Mean())
+		r2 := 1 / (1 + s.Inter[1].Mean())
+		if math.Abs(r1/r2-c.factor) > 1e-9 {
+			t.Errorf("rate ratio = %v, want %v", r1/r2, c.factor)
+		}
+	}
+}
+
+func TestOneScaledPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("over-unity scaled load did not panic")
+		}
+	}()
+	OneScaled(10, 5.0, 4, 1.0) // agent 1 load = 2.0
+}
+
+func TestWorstCaseRR(t *testing.T) {
+	s := WorstCaseRR(10, 0)
+	if s.Inter[0].Mean() != 9.5 {
+		t.Errorf("slow mean = %v, want 9.5", s.Inter[0].Mean())
+	}
+	if s.Inter[1].Mean() != 6.4 {
+		t.Errorf("other mean = %v, want 6.4", s.Inter[1].Mean())
+	}
+	if s.Inter[0].CV() != 0 {
+		t.Errorf("cv = %v", s.Inter[0].CV())
+	}
+}
+
+func TestLoadRatioWorstCase(t *testing.T) {
+	// n=30: (1/30.5)/(1/27.4) = 27.4/30.5 ≈ 0.898 — the paper's 0.90.
+	if r := LoadRatioWorstCase(30); math.Abs(r-0.898) > 0.005 {
+		t.Errorf("load ratio(30) = %v, paper ~0.90", r)
+	}
+	// n=64: 61.4/64.5 ≈ 0.952 — the paper's 0.95.
+	if r := LoadRatioWorstCase(64); math.Abs(r-0.952) > 0.005 {
+		t.Errorf("load ratio(64) = %v, paper ~0.95", r)
+	}
+}
+
+func TestWorstCasePanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=4 did not panic")
+		}
+	}()
+	WorstCaseRR(4, 0)
+}
+
+func TestPriorityMix(t *testing.T) {
+	s := PriorityMix(8, 1.0, 1.0, 0.25)
+	if len(s.UrgentProb) != 8 {
+		t.Fatalf("UrgentProb len = %d", len(s.UrgentProb))
+	}
+	for _, p := range s.UrgentProb {
+		if p != 0.25 {
+			t.Errorf("urgent prob = %v", p)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	s := Equal(6, 1.0, 0.5)
+	var cfg bussim.Config
+	s.Apply(&cfg)
+	if cfg.N != 6 || len(cfg.Inter) != 6 || cfg.UrgentProb != nil {
+		t.Error("Apply incomplete")
+	}
+}
