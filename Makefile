@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz paper examples clean
+.PHONY: all build vet test race bench bench-json check fuzz paper examples clean
 
 all: build vet test
 
@@ -13,15 +13,27 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The worker pool in internal/experiment always runs under the race
+# detector, even in the quick tier: it is the only concurrency in the
+# repository and a data race there silently corrupts table results.
 test:
 	$(GO) test ./...
+	$(GO) test -race ./internal/experiment/...
 
 race:
 	$(GO) test -race ./...
 
+# The full gate: what CI (and a careful PR author) runs.
+check: vet build race
+
 # One benchmark per paper table/figure plus ablations and micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Archive today's benchmark suite as BENCH_<date>.json (the perf
+# trajectory; commit the snapshot alongside perf-relevant PRs).
+bench-json:
+	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
 
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/scenario/

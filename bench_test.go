@@ -8,13 +8,19 @@ package busarb
 // reproduction run. cmd/paper produces the full-effort versions.
 
 import (
+	"runtime"
 	"testing"
 
 	"busarb/internal/experiment"
 )
 
-// benchOpts keeps each benchmark iteration around a second.
-var benchOpts = ExperimentOpts{Batches: 10, BatchSize: 1500, Seed: 1988}
+// benchOpts keeps each benchmark iteration around a second. The load
+// points of a table run across all cores; results are identical to a
+// sequential run because every simulation is independently seeded.
+var benchOpts = ExperimentOpts{
+	Batches: 10, BatchSize: 1500, Seed: 1988,
+	Parallel: runtime.GOMAXPROCS(0),
+}
 
 func BenchmarkTable41_10Agents(b *testing.B) {
 	var peak float64

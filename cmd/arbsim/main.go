@@ -21,6 +21,7 @@ import (
 
 	"busarb/internal/bussim"
 	"busarb/internal/core"
+	"busarb/internal/experiment"
 	"busarb/internal/mp"
 	"busarb/internal/report"
 	"busarb/internal/scenario"
@@ -28,28 +29,43 @@ import (
 	"busarb/internal/workload"
 )
 
-// runCompare runs several protocols on the identical workload and
-// prints one summary line each.
-func runCompare(list string, n int, load, cv float64, seed uint64, batches, batchSize int) {
-	fmt.Printf("%d agents, load %.2f, cv %.2f:\n\n", n, load, cv)
-	fmt.Printf("  %-8s  %-12s  %-10s  %-10s  %-12s\n",
-		"proto", "utilization", "W", "σW", "tN/t1")
-	for _, name := range splitTrim(list) {
+// runCompare runs several protocols on the identical workload — across
+// parallel workers when requested; each run is independently seeded so
+// the output is the same either way — and prints one summary line each.
+func runCompare(list string, n int, load, cv float64, seed uint64, batches, batchSize, parallel int) {
+	names := splitTrim(list)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "arbsim: -compare needs a non-empty protocol list")
+		os.Exit(1)
+	}
+	// Validate the whole list before burning simulation time on any of it.
+	factories := make([]core.Factory, len(names))
+	for i, name := range names {
 		factory, err := core.ByName(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(os.Stderr, "known protocols:", core.Names())
+			os.Exit(1)
 		}
+		factories[i] = factory
+	}
+	results := make([]*bussim.Result, len(names))
+	experiment.Opts{Parallel: parallel}.ForEach(len(names), func(i int) {
 		cfg := bussim.Config{
-			Protocol:  factory,
+			Protocol:  factories[i],
 			Seed:      seed,
 			Batches:   batches,
 			BatchSize: batchSize,
 		}
 		workload.Equal(n, load, cv).Apply(&cfg)
-		res := bussim.Run(cfg)
+		results[i] = bussim.Run(cfg)
+	})
+	fmt.Printf("%d agents, load %.2f, cv %.2f:\n\n", n, load, cv)
+	fmt.Printf("  %-8s  %-12s  %-10s  %-10s  %-12s\n",
+		"proto", "utilization", "W", "σW", "tN/t1")
+	for i, res := range results {
 		fmt.Printf("  %-8s  %-12.3f  %-10.2f  %-10.2f  %-12.2f\n",
-			name, res.Utilization.Mean, res.WaitMean.Mean, res.WaitStdDev.Mean,
+			names[i], res.Utilization.Mean, res.WaitMean.Mean, res.WaitStdDev.Mean,
 			res.ThroughputRatio(n, 1).Mean)
 	}
 }
@@ -70,7 +86,7 @@ func runMachineScenario(raw []byte, seed uint64, batches, batchSize int) {
 	mf, err := scenario.LoadMachine(bytes.NewReader(raw))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
 	}
 	cfg := mf.Config()
 	if cfg.Seed == 0 {
@@ -111,11 +127,12 @@ func main() {
 		doTrace   = flag.Bool("trace", false, "stream simulation events to stderr")
 		window    = flag.Int("window", 1, "outstanding requests per agent (>1 uses the multi-outstanding FCFS of §3.2)")
 		compare   = flag.String("compare", "", "comma-separated protocols to run side by side (overrides -protocol)")
+		parallel  = flag.Int("parallel", 1, "concurrent simulations for -compare (1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
 	if *compare != "" {
-		runCompare(*compare, *n, *load, *cv, *seed, *batches, *batchSize)
+		runCompare(*compare, *n, *load, *cv, *seed, *batches, *batchSize, *parallel)
 		return
 	}
 
@@ -125,7 +142,7 @@ func main() {
 		raw, err := os.ReadFile(*scenFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			os.Exit(1)
 		}
 		if scenario.IsMachineFile(raw) {
 			runMachineScenario(raw, *seed, *batches, *batchSize)
@@ -134,7 +151,7 @@ func main() {
 		sf, err := scenario.Load(bytes.NewReader(raw))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			os.Exit(1)
 		}
 		cfg = sf.Config()
 		if cfg.Seed == 0 {
@@ -152,7 +169,7 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			fmt.Fprintln(os.Stderr, "known protocols:", core.Names())
-			os.Exit(2)
+			os.Exit(1)
 		}
 		if *window > 1 {
 			w := *window

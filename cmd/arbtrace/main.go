@@ -34,12 +34,12 @@ func main() {
 
 	if err := traceSettle(*ids); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
 	}
 	fmt.Println()
 	if err := traceProtocol(*protoName, *n, *ticks, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
 	}
 }
 
@@ -92,6 +92,9 @@ func traceProtocol(name string, n, ticks int, seed uint64) error {
 	kind, ok := kinds[name]
 	if !ok {
 		return fmt.Errorf("arbtrace: no line-level model for %q", name)
+	}
+	if n < 2 {
+		return fmt.Errorf("arbtrace: need at least 2 agents, got %d", n)
 	}
 	bus := cyclesim.New(kind, n)
 	src := rng.New(seed)

@@ -29,10 +29,14 @@ func main() {
 	)
 	flag.Parse()
 
+	if *n < 2 {
+		fmt.Fprintf(os.Stderr, "arbverify: need at least 2 agents, got %d\n", *n)
+		os.Exit(1)
+	}
 	sys, defBound, err := systemFor(*protoName, *n)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
 	}
 	if *bound > 0 {
 		sys.MaxBypass = *bound

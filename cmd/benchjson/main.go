@@ -1,0 +1,59 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// (read from stdin) into the repository's BENCH_<date>.json snapshot
+// format, so the performance trajectory of the simulator can be archived
+// and diffed PR over PR.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH_2026-08-06.json
+//	go test -bench=Table41 -benchmem . | benchjson        # JSON to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"busarb/internal/report"
+)
+
+func main() {
+	var (
+		out  = flag.String("o", "", "output file (default stdout)")
+		date = flag.String("date", "", "snapshot date, YYYY-MM-DD (default today)")
+	)
+	flag.Parse()
+
+	suite, err := report.ParseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(suite.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin (pipe `go test -bench` output in)")
+		os.Exit(1)
+	}
+	suite.Date = *date
+	if suite.Date == "" {
+		suite.Date = time.Now().Format("2006-01-02")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.WriteBenchJSON(w, suite); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s\n", len(suite.Benchmarks), *out)
+	}
+}

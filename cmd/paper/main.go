@@ -48,24 +48,45 @@ func main() {
 	flag.Parse()
 	if *format != "text" && *format != "csv" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "paper: unknown format %q\n", *format)
-		os.Exit(2)
+		os.Exit(1)
 	}
 
-	opts := experiment.Opts{Batches: *batches, BatchSize: *batchSize, Seed: *seed, Parallel: *parallel}
+	// An explicitly given -seed counts even when it is 0: the zero seed
+	// selects a real random stream, not "use the default".
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	opts := experiment.Opts{
+		Batches: *batches, BatchSize: *batchSize,
+		Seed: *seed, SeedSet: seedSet,
+		Parallel: *parallel,
+	}
 	ns, err := parseSizes(*sizes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
 	}
 
+	known := map[string]bool{"t4.1": true, "t4.2": true, "t4.3": true, "t4.4": true, "t4.5": true, "f4.1": true}
 	want := map[string]bool{}
 	for _, t := range strings.Split(*table, ",") {
 		if t = strings.TrimSpace(t); t != "" {
+			if !known["t"+t] {
+				fmt.Fprintf(os.Stderr, "paper: unknown table %q (known: 4.1, 4.2, 4.3, 4.4, 4.5)\n", t)
+				os.Exit(1)
+			}
 			want["t"+t] = true
 		}
 	}
 	for _, f := range strings.Split(*figure, ",") {
 		if f = strings.TrimSpace(f); f != "" {
+			if !known["f"+f] {
+				fmt.Fprintf(os.Stderr, "paper: unknown figure %q (known: 4.1)\n", f)
+				os.Exit(1)
+			}
 			want["f"+f] = true
 		}
 	}
@@ -76,7 +97,7 @@ func main() {
 	}
 	if len(want) == 0 && !*ablations && !*cost && !*robust && !*priority && !*membusF && *waitCurve == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(1)
 	}
 	if *membusF {
 		mrows := experiment.SplitVsConnected(12, 8, 2.0,

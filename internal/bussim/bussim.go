@@ -24,7 +24,6 @@ package bussim
 
 import (
 	"fmt"
-	"sort"
 
 	"busarb/internal/core"
 	"busarb/internal/dist"
@@ -241,20 +240,33 @@ type agentState struct {
 	src        *rng.Source
 	urgentProb float64
 	urgent     bool
-	// genTimes is the FIFO of generation times of requests not yet in
-	// service; the agent is "waiting" (asserting the request line)
-	// while it is non-empty.
+	// genTimes[genHead:] is the FIFO of generation times of requests not
+	// yet in service; the agent is "waiting" (asserting the request
+	// line) while it is non-empty. The head index (rather than
+	// reslicing from the front) lets the backing array be reused: when
+	// the queue drains, both reset to zero and the capacity is kept.
 	genTimes []float64
+	genHead  int
 	// curGenTime is the generation time of the request in service.
 	curGenTime float64
+	// curDur is the in-flight transaction's duration, consumed by the
+	// agent's prebound completion event.
+	curDur float64
 	// outstanding counts requests generated but not completed.
 	outstanding int
 	// genBlocked marks a full window: the interrequest clock restarts
 	// when a completion frees a slot.
 	genBlocked bool
+	// arriveFn and completeFn are the agent's two event closures,
+	// allocated once at setup. At most one of each is pending at any
+	// time (one interrequest clock, one bus), so scheduling them
+	// repeatedly instead of fresh captures keeps the event loop
+	// allocation free.
+	arriveFn   func()
+	completeFn func()
 }
 
-func (a *agentState) waiting() bool { return len(a.genTimes) > 0 }
+func (a *agentState) waiting() bool { return len(a.genTimes) > a.genHead }
 
 type system struct {
 	cfg      Config
@@ -267,6 +279,14 @@ type system struct {
 	busBusy      bool
 	arbitrating  bool
 	pendingWin   int
+
+	// arbSnap is the request-line snapshot of the arbitration in
+	// flight. Only one arbitration is ever in flight (arbitrating
+	// guards), so a single reusable buffer suffices; resolveFn is the
+	// prebound resolution event.
+	arbSnap    []int
+	arbExposed bool
+	resolveFn  func()
 
 	service float64
 	arbOvh  float64
@@ -361,15 +381,23 @@ func Run(cfg Config) *Result {
 		}
 	}
 	s := &system{
-		cfg:           cfg,
-		proto:         proto,
-		service:       cfg.Service,
-		arbOvh:        cfg.ArbOverhead,
-		warmupLeft:    int64(cfg.Warmup),
-		target:        int64(cfg.Batches) * int64(cfg.BatchSize),
-		batchSize:     int64(cfg.BatchSize),
-		batchAgentCnt: make([]int64, cfg.N+1),
-		agentBatches:  make([][]float64, cfg.N),
+		cfg:            cfg,
+		proto:          proto,
+		service:        cfg.Service,
+		arbOvh:         cfg.ArbOverhead,
+		warmupLeft:     int64(cfg.Warmup),
+		target:         int64(cfg.Batches) * int64(cfg.BatchSize),
+		batchSize:      int64(cfg.BatchSize),
+		batchAgentCnt:  make([]int64, cfg.N+1),
+		agentBatches:   make([][]float64, cfg.N),
+		arbSnap:        make([]int, 0, cfg.N),
+		waitBatchMeans: make([]float64, 0, cfg.Batches),
+		waitBatchStds:  make([]float64, 0, cfg.Batches),
+		utilBatches:    make([]float64, 0, cfg.Batches),
+	}
+	s.resolveFn = s.resolveArbitration
+	for i := range s.agentBatches {
+		s.agentBatches[i] = make([]float64, 0, cfg.Batches)
 	}
 	if cr, ok := proto.(core.ClassRequester); ok {
 		s.classReq = cr
@@ -384,6 +412,7 @@ func Run(cfg Config) *Result {
 	}
 	if cfg.CollectWaits {
 		s.res.Waits = &stats.ECDF{}
+		s.res.Waits.Reserve(int(s.target))
 	}
 	if cfg.HistBinWidth > 0 {
 		hm := cfg.HistMax
@@ -407,6 +436,8 @@ func Run(cfg Config) *Result {
 		if cfg.UrgentProb != nil {
 			a.urgentProb = cfg.UrgentProb[id-1]
 		}
+		a.arriveFn = func() { s.requestArrives(a) }
+		a.completeFn = func() { s.completeService(a) }
 		s.agents[id] = a
 		s.scheduleNextRequest(a)
 	}
@@ -421,7 +452,7 @@ func (s *system) scheduleNextRequest(a *agentState) {
 	if d < 0 {
 		panic(fmt.Sprintf("bussim: agent %d produced negative think time %v", a.id, d))
 	}
-	s.sched.After(d, func() { s.requestArrives(a) })
+	s.sched.After(d, a.arriveFn)
 }
 
 func (s *system) requestArrives(a *agentState) {
@@ -461,15 +492,16 @@ func (s *system) requestArrives(a *agentState) {
 	}
 }
 
-func (s *system) waitingIDs() []int {
-	ids := make([]int, 0, s.waitingCount)
+// snapshotWaiting refills arbSnap with the identities of all waiting
+// agents, ascending (the iteration order). The buffer is reused across
+// arbitrations; only one snapshot is live at a time.
+func (s *system) snapshotWaiting() {
+	s.arbSnap = s.arbSnap[:0]
 	for id := 1; id <= s.cfg.N; id++ {
 		if s.agents[id].waiting() {
-			ids = append(ids, id)
+			s.arbSnap = append(s.arbSnap, id)
 		}
 	}
-	sort.Ints(ids)
-	return ids
 }
 
 // beginArbitration starts an arbitration among the agents asserting the
@@ -481,12 +513,18 @@ func (s *system) beginArbitration(exposed bool) {
 		return
 	}
 	s.arbitrating = true
+	s.arbExposed = exposed
 	if exposed {
 		s.res.ExposedArbs++
 	}
-	snapshot := s.waitingIDs()
-	s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.ArbStart, Agents: snapshot})
-	s.sched.After(s.arbOvh, func() { s.resolveArbitration(snapshot, exposed) })
+	s.snapshotWaiting()
+	if s.cfg.Trace != nil {
+		// Sinks may retain events, so the shared snapshot buffer must
+		// be copied out (tracing runs are not the allocation-free path).
+		s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.ArbStart,
+			Agents: append([]int(nil), s.arbSnap...)})
+	}
+	s.sched.After(s.arbOvh, s.resolveFn)
 }
 
 // emit forwards an event to the configured trace sink, if any.
@@ -496,13 +534,13 @@ func (s *system) emit(e trace.Event) {
 	}
 }
 
-func (s *system) resolveArbitration(snapshot []int, exposed bool) {
+func (s *system) resolveArbitration() {
 	// Every snapshot member is still waiting: a waiter can only leave by
 	// being granted the bus, and no grant occurs mid-arbitration.
 	if s.cfg.LateJoin {
-		snapshot = s.waitingIDs()
+		s.snapshotWaiting()
 	}
-	out := s.proto.Arbitrate(snapshot)
+	out := s.proto.Arbitrate(s.arbSnap)
 	if out.Repass {
 		s.res.Repasses++
 		s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.ArbRepass})
@@ -510,8 +548,8 @@ func (s *system) resolveArbitration(snapshot []int, exposed bool) {
 		// snapshot; it costs another arbitration delay, which may spill
 		// past the current transaction's end (handled by completeService
 		// finding arbitrating == true).
-		fresh := s.waitingIDs()
-		s.sched.After(s.arbOvh, func() { s.resolveArbitration(fresh, exposed) })
+		s.snapshotWaiting()
+		s.sched.After(s.arbOvh, s.resolveFn)
 		return
 	}
 	s.res.Arbitrations++
@@ -531,9 +569,11 @@ func (s *system) resolveArbitration(snapshot []int, exposed bool) {
 func (s *system) startService(id int) {
 	a := s.agents[id]
 	// The oldest queued request enters service.
-	a.curGenTime = a.genTimes[0]
-	a.genTimes = a.genTimes[1:]
+	a.curGenTime = a.genTimes[a.genHead]
+	a.genHead++
 	if !a.waiting() {
+		a.genTimes = a.genTimes[:0]
+		a.genHead = 0
 		s.waitingCount--
 	}
 	s.busBusy = true
@@ -544,7 +584,8 @@ func (s *system) startService(id int) {
 	if s.cfg.ServiceDist != nil {
 		dur = s.cfg.ServiceDist.Sample(s.serviceSrc)
 	}
-	s.sched.After(dur, func() { s.completeService(a, dur) })
+	a.curDur = dur
+	s.sched.After(dur, a.completeFn)
 	// §4.1: arbitration for the next master starts at the beginning of a
 	// bus transaction whenever requests are waiting — fully overlapped.
 	if s.waitingCount > 0 && !s.arbitrating {
@@ -552,11 +593,11 @@ func (s *system) startService(id int) {
 	}
 }
 
-func (s *system) completeService(a *agentState, dur float64) {
+func (s *system) completeService(a *agentState) {
 	s.busBusy = false
 	now := s.sched.Now()
 	s.emit(trace.Event{Time: now, Kind: trace.Complete, Agent: a.id})
-	s.recordCompletion(a, now-a.curGenTime, dur)
+	s.recordCompletion(a, now-a.curGenTime, a.curDur)
 	a.outstanding--
 	if a.genBlocked {
 		a.genBlocked = false

@@ -1,0 +1,127 @@
+// Package clitest runs the repository's command-line binaries the way a
+// shell script would and pins their exit-status contract: every failure
+// path exits 1 (flag-parse errors exit 2, the flag package's
+// convention), and no misuse silently succeeds.
+package clitest
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles the CLI binaries once into a temp dir and returns
+// their paths by name.
+func buildCmds(t *testing.T) map[string]string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	_, self, _, _ := runtime.Caller(0)
+	root := filepath.Dir(filepath.Dir(filepath.Dir(self)))
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(filepath.Separator), "./cmd/...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building CLIs: %v\n%s", err, out)
+	}
+	bins := map[string]string{}
+	for _, name := range []string{"paper", "arbsim", "arbtrace", "arbverify", "benchjson"} {
+		bins[name] = filepath.Join(dir, name)
+	}
+	return bins
+}
+
+// run executes a binary and returns its exit code and combined stderr.
+func run(t *testing.T, bin string, stdin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %s: %v", bin, err)
+	}
+	return code, stderr.String()
+}
+
+func TestCLIFailurePathsExitNonZero(t *testing.T) {
+	bins := buildCmds(t)
+
+	cases := []struct {
+		name     string
+		bin      string
+		args     []string
+		stdin    string
+		wantCode int
+		wantErr  string // substring that must appear on stderr
+	}{
+		{"paper unknown format", "paper", []string{"-table", "4.1", "-format", "yaml"}, "", 1, "unknown format"},
+		{"paper unknown table", "paper", []string{"-table", "9.9"}, "", 1, "unknown table"},
+		{"paper unknown figure", "paper", []string{"-figure", "7.7"}, "", 1, "unknown figure"},
+		{"paper bad sizes", "paper", []string{"-table", "4.1", "-sizes", "x"}, "", 1, "bad size"},
+		{"paper no work requested", "paper", []string{}, "", 1, ""},
+		{"arbsim unknown protocol", "arbsim", []string{"-protocol", "BOGUS"}, "", 1, "unknown protocol"},
+		{"arbsim unknown compare entry", "arbsim", []string{"-compare", "RR1,BOGUS"}, "", 1, "unknown protocol"},
+		{"arbsim blank compare list", "arbsim", []string{"-compare", " , "}, "", 1, "non-empty protocol list"},
+		{"arbsim missing scenario file", "arbsim", []string{"-scenario", "/nonexistent/file.json"}, "", 1, "no such file"},
+		{"arbtrace bad identity", "arbtrace", []string{"-ids", "0"}, "", 1, "bad identity"},
+		{"arbtrace unknown protocol", "arbtrace", []string{"-protocol", "AAP1"}, "", 1, "no line-level model"},
+		{"arbtrace too few agents", "arbtrace", []string{"-n", "1"}, "", 1, "at least 2 agents"},
+		{"arbverify unknown protocol", "arbverify", []string{"-protocol", "BOGUS"}, "", 1, "unknown protocol"},
+		{"arbverify too few agents", "arbverify", []string{"-n", "1"}, "", 1, "at least 2 agents"},
+		{"arbverify refuted bound", "arbverify", []string{"-protocol", "FP", "-n", "3", "-bound", "2"}, "", 1, ""},
+		{"benchjson empty stdin", "benchjson", nil, " ", 1, "no benchmark lines"},
+		{"benchjson malformed input", "benchjson", nil, "BenchmarkX abc 5 ns/op\n", 1, "bad iteration count"},
+		{"flag parse errors keep the flag convention", "arbsim", []string{"-nosuchflag"}, "", 2, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := run(t, bins[tc.bin], tc.stdin, tc.args...)
+			if code != tc.wantCode {
+				t.Errorf("exit code %d, want %d (stderr: %s)", code, tc.wantCode, stderr)
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr, tc.wantErr) {
+				t.Errorf("stderr %q does not contain %q", stderr, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCLISuccessPathsExitZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	bins := buildCmds(t)
+
+	cases := []struct {
+		name  string
+		bin   string
+		args  []string
+		stdin string
+	}{
+		{"arbsim quick run", "arbsim", []string{"-n", "4", "-batches", "2", "-batchsize", "100"}, ""},
+		{"arbsim compare parallel", "arbsim", []string{"-compare", "RR1,FCFS1", "-n", "4", "-batches", "2", "-batchsize", "100", "-parallel", "2"}, ""},
+		{"arbtrace defaults", "arbtrace", []string{"-ticks", "10"}, ""},
+		{"arbverify RR1 small", "arbverify", []string{"-protocol", "RR1", "-n", "3"}, ""},
+		{"paper tiny table", "paper", []string{"-table", "4.5", "-sizes", "5", "-batches", "2", "-batchsize", "100"}, ""},
+		{"benchjson parses bench output", "benchjson", []string{"-date", "2026-08-06"},
+			"BenchmarkX 	 10 	 100 ns/op 	 8 B/op 	 1 allocs/op\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := run(t, bins[tc.bin], tc.stdin, tc.args...)
+			if code != 0 {
+				t.Errorf("exit code %d, want 0 (stderr: %s)", code, stderr)
+			}
+		})
+	}
+}

@@ -54,6 +54,13 @@ type Arbitration struct {
 	// maxRounds bounds the settle loop; Taub proves settling within
 	// ~k/2 end-to-end delays, so 4k+4 synchronous rounds is generous.
 	maxRounds int
+	// Scratch buffers reused across Run calls so the settle loop is
+	// allocation free in steady state. bits holds the competitors'
+	// identity bit patterns back to back (width bits per competitor);
+	// lines and applied are one-row working copies.
+	bits    []bool
+	lines   []bool
+	applied []bool
 }
 
 // New creates an arbiter with the given line width (bits per arbitration
@@ -63,6 +70,8 @@ func New(width, agents int) *Arbitration {
 		bank:      wiredor.NewBank("AB", width, agents),
 		width:     width,
 		maxRounds: 4*width + 4,
+		lines:     make([]bool, width),
+		applied:   make([]bool, width),
 	}
 }
 
@@ -98,10 +107,14 @@ func (a *Arbitration) run(comps []Competitor, trace bool) (Result, [][]bool) {
 
 	// Each agent's view: the MSB-first bits of its identity, and the
 	// bits it currently applies given the line state it last observed.
-	bits := make([][]bool, len(comps))
+	// The patterns live back to back in the reusable bits buffer.
+	if need := len(comps) * a.width; cap(a.bits) < need {
+		a.bits = make([]bool, need)
+	}
 	for i, c := range comps {
-		bits[i] = numberBits(c.Number, a.width)
-		a.bank.Apply(c.Agent, bits[i])
+		id := a.bits[i*a.width : (i+1)*a.width]
+		numberBits(id, c.Number)
+		a.bank.Apply(c.Agent, id)
 	}
 
 	var rows [][]bool
@@ -110,10 +123,11 @@ func (a *Arbitration) run(comps []Competitor, trace bool) (Result, [][]bool) {
 	}
 	rounds := 0
 	for ; rounds < a.maxRounds; rounds++ {
-		lines := a.bank.Values()
+		lines := a.bank.ValuesInto(a.lines)
 		changed := false
 		for i, c := range comps {
-			applied := appliedBits(bits[i], lines)
+			id := a.bits[i*a.width : (i+1)*a.width]
+			applied := appliedBits(a.applied, id, lines)
 			for j := 0; j < a.width; j++ {
 				if a.bank.Line(j).Driving(c.Agent) != applied[j] {
 					changed = true
@@ -152,31 +166,29 @@ func (a *Arbitration) run(comps []Competitor, trace bool) (Result, [][]bool) {
 // the agent keeps its identity bits above that line and removes
 // (releases) all bits below it. If no such line exists — the agent is not
 // outbid anywhere — it applies its full identity, which also reapplies
-// any previously removed bits once the offending line drops.
-func appliedBits(id, lines []bool) []bool {
-	cut := -1
+// any previously removed bits once the offending line drops. The result
+// is written into out (same length as id) and returned.
+func appliedBits(out, id, lines []bool) []bool {
+	cut := len(id)
 	for j := range id {
 		if lines[j] && !id[j] {
 			cut = j
 			break
 		}
 	}
-	out := make([]bool, len(id))
-	if cut < 0 {
-		copy(out, id)
-		return out
-	}
 	copy(out[:cut], id[:cut])
+	for j := cut; j < len(id); j++ {
+		out[j] = false
+	}
 	return out
 }
 
-// numberBits expands v into MSB-first bits of the given width.
-func numberBits(v uint64, width int) []bool {
-	out := make([]bool, width)
+// numberBits expands v into MSB-first bits filling out.
+func numberBits(out []bool, v uint64) {
+	width := len(out)
 	for i := 0; i < width; i++ {
 		out[i] = v&(1<<uint(width-1-i)) != 0
 	}
-	return out
 }
 
 // BinaryPatterned performs the Johnson single-pass arbitration: it

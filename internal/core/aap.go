@@ -23,6 +23,7 @@ type AAP1 struct {
 	pending []bool
 	batchSz int
 	gen     int64
+	scratch
 }
 
 // NewAAP1 returns the Fastbus/NuBus/Multibus II assured access protocol
@@ -89,12 +90,13 @@ func (p *AAP1) OnServiceStart(id int, _ float64) {
 // identity.
 func (p *AAP1) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	var comps []int
+	comps := p.compsBuf()
 	for _, id := range waiting {
 		if p.inBatch[id] {
 			comps = append(comps, id)
 		}
 	}
+	p.keepComps(comps)
 	if len(comps) == 0 {
 		// Unreachable under the simulator's contract (a waiting agent is
 		// in the batch or pending, and the batch is non-empty whenever
@@ -102,7 +104,7 @@ func (p *AAP1) Arbitrate(waiting []int) Outcome {
 		// hardware-like fallback.
 		comps = waiting
 	}
-	nums := make([]uint64, len(comps))
+	nums := p.numsBuf(len(comps))
 	for i, id := range comps {
 		nums[i] = p.layout.Encode(ident.Number{Static: id})
 	}
@@ -131,6 +133,7 @@ type AAP2 struct {
 	inhibited []bool
 	waiting   []bool
 	releases  int64
+	scratch
 }
 
 // NewAAP2 returns the Futurebus assured access protocol for n agents.
@@ -190,17 +193,18 @@ func (p *AAP2) release() {
 // agent re-requesting before its flag cleared.
 func (p *AAP2) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	var comps []int
+	comps := p.compsBuf()
 	for _, id := range waiting {
 		if !p.inhibited[id] {
 			comps = append(comps, id)
 		}
 	}
+	p.keepComps(comps)
 	if len(comps) == 0 {
 		p.release()
 		comps = waiting
 	}
-	nums := make([]uint64, len(comps))
+	nums := p.numsBuf(len(comps))
 	for i, id := range comps {
 		nums[i] = p.layout.Encode(ident.Number{Static: id})
 	}

@@ -18,13 +18,23 @@ import (
 
 // FCFS1 is the simpler counting strategy: the counter is incremented
 // each time the agent loses an arbitration, and reset on a win. With at
-// most one outstanding request per agent the counter never exceeds N-1,
-// so a modulo-N counter of ceil(log2 N) bits suffices (§3.2).
+// most one outstanding request per agent the counter never exceeds N-1
+// (a winner resets to 0 and can never again pass a still-waiting agent,
+// because the counter is the number's most significant field), so a
+// counter of ceil(log2 N) bits suffices (§3.2). At that width the
+// saturation guard below never engages — the counter value is identical
+// to an unbounded one, which TestFCFS1CounterBound pins against a
+// central unbounded-counter oracle. Narrower counters saturate rather
+// than wrap: §3.2's "allow the counter to overflow" (a modular counter)
+// would rank a long-waiting agent behind a fresh request the moment its
+// count wraps to 0, inverting the service order (see
+// TestFCFS1NarrowCounterSaturationPreservesSeniority).
 type FCFS1 struct {
 	n       int
 	layout  ident.Layout
 	modulus int
 	counter []int // indexed by agent id; valid while the agent waits
+	scratch
 }
 
 // NewFCFS1 returns the lose-counting FCFS implementation for n agents.
@@ -71,7 +81,7 @@ func (p *FCFS1) OnServiceStart(int, float64) {}
 // Arbitrate implements Protocol.
 func (p *FCFS1) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := make([]uint64, len(waiting))
+	nums := p.numsBuf(len(waiting))
 	for i, id := range waiting {
 		nums[i] = p.layout.Encode(ident.Number{Static: id, Counter: p.counter[id]})
 	}
@@ -110,6 +120,7 @@ type FCFS2 struct {
 	waiting []bool
 	lastT   float64 // time of the most recent a-incr pulse
 	hasLast bool
+	scratch
 }
 
 // NewFCFS2 returns the a-incr FCFS implementation for n agents. The
@@ -163,7 +174,7 @@ func (p *FCFS2) OnServiceStart(id int, _ float64) { p.waiting[id] = false }
 // Arbitrate implements Protocol.
 func (p *FCFS2) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := make([]uint64, len(waiting))
+	nums := p.numsBuf(len(waiting))
 	for i, id := range waiting {
 		nums[i] = p.layout.Encode(ident.Number{Static: id, Counter: p.counter[id]})
 	}
@@ -193,6 +204,7 @@ type Hybrid struct {
 	lastWinner int
 	lastT      float64
 	hasLast    bool
+	scratch
 }
 
 // NewHybrid returns the hybrid protocol for n agents.
@@ -235,7 +247,7 @@ func (p *Hybrid) OnServiceStart(id int, _ float64) { p.waiting[id] = false }
 // Arbitrate implements Protocol.
 func (p *Hybrid) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := make([]uint64, len(waiting))
+	nums := p.numsBuf(len(waiting))
 	for i, id := range waiting {
 		nums[i] = p.layout.Encode(ident.Number{
 			Static:  id,

@@ -30,6 +30,7 @@ type MultiFCFS struct {
 	r      int
 	layout ident.Layout
 	queues [][]int // per-agent FIFO of request counters
+	scratch
 }
 
 // NewMultiFCFS returns the multi-outstanding FCFS protocol for n agents
@@ -96,7 +97,7 @@ func (p *MultiFCFS) OnServiceStart(id int, _ float64) {
 // counter of its oldest (highest-counter) request.
 func (p *MultiFCFS) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := make([]uint64, len(waiting))
+	nums := p.numsBuf(len(waiting))
 	for i, id := range waiting {
 		q := p.queues[id]
 		if len(q) == 0 {

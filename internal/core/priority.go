@@ -43,6 +43,7 @@ type PriorityRR struct {
 	mode       RRPriorityMode
 	lastWinner int
 	urgent     []bool
+	scratch
 }
 
 // NewPriorityRR returns RR1 with priority integration for n agents.
@@ -78,7 +79,7 @@ func (p *PriorityRR) OnServiceStart(id int, _ float64) { p.urgent[id] = false }
 // Arbitrate implements Protocol.
 func (p *PriorityRR) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := make([]uint64, len(waiting))
+	nums := p.numsBuf(len(waiting))
 	for i, id := range waiting {
 		rr := id < p.lastWinner
 		if p.urgent[id] && p.mode == RRIgnoreWithinClass {
@@ -128,6 +129,7 @@ type PriorityFCFS1 struct {
 	// overflows counts wrap events under CounterOverflow, so experiments
 	// can report how often the hazard fires.
 	overflows int64
+	scratch
 }
 
 // NewPriorityFCFS1 returns FCFS1 with priority integration for n agents.
@@ -175,7 +177,7 @@ func (p *PriorityFCFS1) OnServiceStart(id int, _ float64) { p.urgent[id] = false
 // Arbitrate implements Protocol.
 func (p *PriorityFCFS1) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := make([]uint64, len(waiting))
+	nums := p.numsBuf(len(waiting))
 	for i, id := range waiting {
 		nums[i] = p.layout.Encode(ident.Number{
 			Static:   id,
@@ -227,6 +229,7 @@ type PriorityFCFS2 struct {
 	urgent  []bool
 	lastT   [2]float64
 	hasLast [2]bool
+	scratch
 }
 
 // NewPriorityFCFS2 returns FCFS2 with dual increment lines for n agents.
@@ -282,7 +285,7 @@ func (p *PriorityFCFS2) OnServiceStart(id int, _ float64) {
 // Arbitrate implements Protocol.
 func (p *PriorityFCFS2) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := make([]uint64, len(waiting))
+	nums := p.numsBuf(len(waiting))
 	for i, id := range waiting {
 		nums[i] = p.layout.Encode(ident.Number{
 			Static:   id,

@@ -83,6 +83,31 @@ func pickMax(nums []uint64) int {
 	return idx
 }
 
+// scratch holds per-instance arbitration work buffers, embedded in every
+// protocol so Arbitrate is allocation free in steady state. The buffers
+// carry no state between calls — they model the (stateless) arbitration
+// lines, not registers — so verifier clones may safely share them.
+type scratch struct {
+	nums  []uint64
+	comps []int
+}
+
+// numsBuf returns a length-n scratch slice for arbitration numbers.
+func (s *scratch) numsBuf(n int) []uint64 {
+	if cap(s.nums) < n {
+		s.nums = make([]uint64, n)
+	}
+	return s.nums[:n]
+}
+
+// compsBuf returns an empty scratch slice for competitor identities;
+// callers append to it and pass the result back via keepComps so growth
+// is retained.
+func (s *scratch) compsBuf() []int { return s.comps[:0] }
+
+// keepComps stores the (possibly regrown) competitor buffer for reuse.
+func (s *scratch) keepComps(c []int) { s.comps = c }
+
 // ---------------------------------------------------------------------
 // Fixed priority (the raw parallel contention arbiter, §2.1).
 
@@ -92,6 +117,7 @@ func pickMax(nums []uint64) int {
 type FixedPriority struct {
 	n      int
 	layout ident.Layout
+	scratch
 }
 
 // NewFixedPriority returns a fixed-priority protocol for n agents.
@@ -114,7 +140,7 @@ func (p *FixedPriority) OnServiceStart(int, float64) {}
 // Arbitrate implements Protocol.
 func (p *FixedPriority) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := make([]uint64, len(waiting))
+	nums := p.numsBuf(len(waiting))
 	for i, id := range waiting {
 		nums[i] = p.layout.Encode(ident.Number{Static: id})
 	}

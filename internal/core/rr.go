@@ -23,6 +23,7 @@ type RR1 struct {
 	n          int
 	layout     ident.Layout
 	lastWinner int
+	scratch
 }
 
 // NewRR1 returns the round-robin-priority-bit implementation for n
@@ -52,7 +53,7 @@ func (p *RR1) OnServiceStart(int, float64) {}
 // Arbitrate implements Protocol.
 func (p *RR1) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := make([]uint64, len(waiting))
+	nums := p.numsBuf(len(waiting))
 	for i, id := range waiting {
 		nums[i] = p.layout.Encode(ident.Number{Static: id, RR: id < p.lastWinner})
 	}
@@ -76,6 +77,7 @@ type RR2 struct {
 	n          int
 	layout     ident.Layout
 	lastWinner int
+	scratch
 }
 
 // NewRR2 returns the low-request-line implementation for n agents.
@@ -110,18 +112,17 @@ func (p *RR2) Arbitrate(waiting []int) Outcome {
 			break
 		}
 	}
-	var comps []int
+	comps := waiting
 	if lowRequest {
-		comps = comps[:0]
+		comps = p.compsBuf()
 		for _, id := range waiting {
 			if id < p.lastWinner {
 				comps = append(comps, id)
 			}
 		}
-	} else {
-		comps = waiting
+		p.keepComps(comps)
 	}
-	nums := make([]uint64, len(comps))
+	nums := p.numsBuf(len(comps))
 	for i, id := range comps {
 		nums[i] = p.layout.Encode(ident.Number{Static: id})
 	}
@@ -143,6 +144,7 @@ type RR3 struct {
 	n          int
 	layout     ident.Layout
 	lastWinner int
+	scratch
 }
 
 // NewRR3 returns the no-extra-line implementation for n agents. The
@@ -171,19 +173,20 @@ func (p *RR3) OnServiceStart(int, float64) {}
 // Arbitrate implements Protocol.
 func (p *RR3) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	var comps []int
+	comps := p.compsBuf()
 	for _, id := range waiting {
 		if id < p.lastWinner {
 			comps = append(comps, id)
 		}
 	}
+	p.keepComps(comps)
 	if len(comps) == 0 {
 		// Winning identity zero: no agent participated. Record N+1 and
 		// rerun (§3.1, third implementation).
 		p.lastWinner = p.n + 1
 		return Outcome{Repass: true}
 	}
-	nums := make([]uint64, len(comps))
+	nums := p.numsBuf(len(comps))
 	for i, id := range comps {
 		nums[i] = p.layout.Encode(ident.Number{Static: id})
 	}

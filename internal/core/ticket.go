@@ -23,6 +23,7 @@ type TicketFCFS struct {
 	next    int
 	ticket  []int
 	holds   []bool
+	scratch
 	// TicketCycles counts ticket-dispense operations (one per request):
 	// bus cycles a real implementation would spend beyond the paper's
 	// protocols.
@@ -69,7 +70,7 @@ func (p *TicketFCFS) Arbitrate(waiting []int) Outcome {
 	// Age is measured backwards from the dispenser's next value; with a
 	// 2k-bit counter and at most N outstanding tickets, ages never
 	// wrap ambiguously.
-	nums := make([]uint64, len(waiting))
+	nums := p.numsBuf(len(waiting))
 	for i, id := range waiting {
 		age := (p.next - p.ticket[id] + p.modulus) % p.modulus
 		if age >= p.modulus {

@@ -200,6 +200,11 @@ type Bus struct {
 	nextMaster int  // latched winner for the next transfer (0 = none)
 	arbNeeded  bool // an arbitration should run this tick
 	grants     []Grant
+	// Per-arbitration scratch, reused so steady-state ticks do not
+	// allocate: the competitor list handed to the arbiter and the
+	// participated flags (indexed by agent identity).
+	comps        []contention.Competitor
+	participated []bool
 	// SettleRounds accumulates the wired-OR settle rounds across all
 	// arbitrations, for overhead reporting.
 	SettleRounds int64
@@ -236,12 +241,14 @@ func build(kind Kind, n int, priority bool) *Bus {
 	}
 	lay.PriorityBit = priority
 	b := &Bus{
-		kind:   kind,
-		n:      n,
-		lay:    lay,
-		arb:    contention.New(lay.TotalBits(), n+1),
-		breq:   wiredor.NewLine("BREQ", n+1),
-		agents: make([]*agentCtl, n+1),
+		kind:         kind,
+		n:            n,
+		lay:          lay,
+		arb:          contention.New(lay.TotalBits(), n+1),
+		breq:         wiredor.NewLine("BREQ", n+1),
+		agents:       make([]*agentCtl, n+1),
+		comps:        make([]contention.Competitor, 0, n),
+		participated: make([]bool, n+1),
 	}
 	if kind == RR2 {
 		b.lowreq = wiredor.NewLine("LOWREQ", n+1)
@@ -412,21 +419,20 @@ func (b *Bus) runArbitration() {
 		}
 		lowRequest = b.lowreq.Value()
 	}
-	var comps []contention.Competitor
+	comps := b.comps[:0]
 	for id := 1; id <= b.n; id++ {
+		b.participated[id] = false
 		if b.agents[id].participates(lowRequest) {
 			comps = append(comps, contention.Competitor{Agent: id, Number: b.agents[id].number()})
+			b.participated[id] = true
 		}
 	}
+	b.comps = comps
 	res := b.arb.Run(comps)
 	b.SettleRounds += int64(res.Rounds)
 	b.Arbitrations++
-	participated := make(map[int]bool, len(comps))
-	for _, c := range comps {
-		participated[c.Agent] = true
-	}
 	for id := 1; id <= b.n; id++ {
-		b.agents[id].observe(res.WinningNumber, participated[id])
+		b.agents[id].observe(res.WinningNumber, b.participated[id])
 	}
 	if res.Winner < 0 || res.WinningNumber == 0 {
 		// Empty pass (RR3): all agents recorded N+1; rerun next tick.

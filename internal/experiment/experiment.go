@@ -22,7 +22,11 @@ type Opts struct {
 	Batches   int
 	BatchSize int
 	// Seed selects the random streams (default 1988, the paper's year).
-	Seed uint64
+	// A zero Seed means "use the default" unless SeedSet is true: the
+	// zero seed is a legitimate stream, so callers that really want it
+	// set SeedSet (CLIs set it whenever -seed was given explicitly).
+	Seed    uint64
+	SeedSet bool
 	// Parallel runs the independent simulations of a table across this
 	// many goroutines (0 or 1 = sequential). Results are identical
 	// regardless: every run is seeded independently.
@@ -36,7 +40,7 @@ func (o Opts) fill() Opts {
 	if o.BatchSize == 0 {
 		o.BatchSize = 8000
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		o.Seed = 1988
 	}
 	if o.Parallel < 1 {
@@ -45,10 +49,12 @@ func (o Opts) fill() Opts {
 	return o
 }
 
-// forEach runs fn(i) for i in [0, n), using o.Parallel workers. Each fn
-// writes only to its own index, so no synchronization beyond the wait is
-// needed.
-func (o Opts) forEach(n int, fn func(i int)) {
+// ForEach runs fn(i) for i in [0, n), using o.Parallel workers. Each fn
+// must write only to its own index (or otherwise avoid shared state), so
+// no synchronization beyond the final wait is needed. It is exported so
+// CLI front ends (cmd/arbsim -compare) can reuse the same worker pool
+// for their own independent simulation fans.
+func (o Opts) ForEach(n int, fn func(i int)) {
 	if o.Parallel <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -122,7 +128,7 @@ type Table41Row struct {
 func Table41(n int, includeAAP bool, o Opts) []Table41Row {
 	o = o.fill()
 	rows := make([]Table41Row, len(PaperLoads))
-	o.forEach(len(PaperLoads), func(i int) {
+	o.ForEach(len(PaperLoads), func(i int) {
 		load := PaperLoads[i]
 		sc := workload.Equal(n, load, 1.0)
 		rr := run(sc, protoRR, o, false)
@@ -159,7 +165,7 @@ type Table42Row struct {
 func Table42(n int, o Opts) []Table42Row {
 	o = o.fill()
 	rows := make([]Table42Row, len(PaperLoads))
-	o.forEach(len(PaperLoads), func(i int) {
+	o.ForEach(len(PaperLoads), func(i int) {
 		load := PaperLoads[i]
 		sc := workload.Equal(n, load, 1.0)
 		rr := run(sc, protoRR, o, false)
@@ -253,7 +259,7 @@ type Table43Row struct {
 func Table43(n int, o Opts) []Table43Row {
 	o = o.fill()
 	rows := make([]Table43Row, len(PaperLoads))
-	o.forEach(len(PaperLoads), func(i int) {
+	o.ForEach(len(PaperLoads), func(i int) {
 		load := PaperLoads[i]
 		sc := workload.Equal(n, load, 1.0)
 		rr := run(sc, protoRR, o, true)
@@ -321,7 +327,7 @@ func Table44(n int, factor float64, o Opts) []Table44Row {
 		}
 	}
 	rows := make([]Table44Row, len(feasible))
-	o.forEach(len(feasible), func(i int) {
+	o.ForEach(len(feasible), func(i int) {
 		sc := workload.OneScaled(n, feasible[i], factor, 1.0)
 		rr := run(sc, protoRR, o, false)
 		fc := run(sc, protoFCFS2, o, false)
@@ -354,7 +360,7 @@ type Table45Row struct {
 func Table45(n int, o Opts) []Table45Row {
 	o = o.fill()
 	rows := make([]Table45Row, len(PaperCVs))
-	o.forEach(len(PaperCVs), func(i int) {
+	o.ForEach(len(PaperCVs), func(i int) {
 		sc := workload.WorstCaseRR(n, PaperCVs[i])
 		rr := run(sc, protoRR, o, false)
 		// Throughput ratio of the slow agent (id 1) to a representative

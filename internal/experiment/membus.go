@@ -30,7 +30,7 @@ type MemBusRow struct {
 func SplitVsConnected(n, banks int, load float64, memTimes []float64, o Opts) []MemBusRow {
 	o = o.fill()
 	rows := make([]MemBusRow, len(memTimes))
-	o.forEach(len(memTimes), func(i int) {
+	o.ForEach(len(memTimes), func(i int) {
 		mt := memTimes[i]
 		service := 0.25 + mt + 0.75
 		base := membus.Config{

@@ -68,7 +68,7 @@ func PriorityStudy(n int, load float64, fracs []float64, o Opts) []PriorityRow {
 		}
 	}
 	rows := make([]PriorityRow, len(jobs))
-	o.forEach(len(jobs), func(i int) {
+	o.ForEach(len(jobs), func(i int) {
 		j := jobs[i]
 		sc := workload.PriorityMix(n, load, 1.0, j.frac)
 		cfg := bussim.Config{

@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// TestSchedulerSteadyStateAllocs guards the event engine's central
+// property: once the queue's backing array has grown, scheduling and
+// running events allocates nothing. A regression here (e.g. reverting to
+// container/heap's interface{} boxing) would put one allocation back on
+// every simulated event.
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	var s Scheduler
+	fn := func() {}
+	// Warm the queue to its steady-state capacity.
+	for i := 0; i < 64; i++ {
+		s.After(float64(i), fn)
+	}
+	for s.Step() {
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.After(float64(i), fn)
+		}
+		for s.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("scheduler hot loop allocates %v times per 64-event cycle, want 0", allocs)
+	}
+}
+
+// TestSchedulerResetKeepsCapacity pins that Reset retains the grown
+// backing array (Run in bussim resets per batch; a fresh array each
+// batch would defeat the pooling).
+func TestSchedulerResetKeepsCapacity(t *testing.T) {
+	var s Scheduler
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.After(float64(i), fn)
+	}
+	s.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.After(float64(i), fn)
+		}
+		s.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+Reset allocates %v times, want 0", allocs)
+	}
+}

@@ -2,10 +2,17 @@
 // event queue with deterministic FIFO tie-breaking for simultaneous
 // events. Both the queueing-level bus simulator (package bussim) and the
 // cycle-level bus model (package cyclesim) run on it.
+//
+// The queue is a concrete index-based binary heap over a slice of event
+// structs. It deliberately avoids container/heap: that interface boxes
+// every element through interface{} on Push and Pop, which costs one heap
+// allocation per scheduled event — the dominant allocation of the whole
+// simulator. With the concrete heap, scheduling an event is allocation
+// free once the queue's backing array has grown to its steady-state
+// capacity (Pop reslices; it never frees).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -15,7 +22,7 @@ import (
 type Scheduler struct {
 	now   float64
 	seq   uint64
-	queue eventHeap
+	queue []event
 }
 
 type event struct {
@@ -24,23 +31,56 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// before is the heap order: earlier time first, then schedule order.
+func (e event) before(o event) bool {
+	if e.time != o.time {
+		return e.time < o.time
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push adds e to the heap (sift-up).
+func (s *Scheduler) push(e event) {
+	q := append(s.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	s.queue = q
+}
+
+// pop removes and returns the minimum event (sift-down). The backing
+// array's capacity is retained for reuse.
+func (s *Scheduler) pop() event {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // drop the closure reference so it can be collected
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && q[r].before(q[l]) {
+			child = r
+		}
+		if !q[child].before(q[i]) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	s.queue = q
+	return top
 }
 
 // Now returns the current simulation time.
@@ -55,11 +95,9 @@ func (s *Scheduler) At(t float64, fn func()) {
 	if t < s.now || math.IsNaN(t) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
-	s.queue.pushEvent(event{time: t, seq: s.seq, fn: fn})
+	s.push(event{time: t, seq: s.seq, fn: fn})
 	s.seq++
 }
-
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 
 // After schedules fn at now+d (d must be >= 0).
 func (s *Scheduler) After(d float64, fn func()) { s.At(s.now+d, fn) }
@@ -70,7 +108,7 @@ func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(event)
+	e := s.pop()
 	s.now = e.time
 	e.fn()
 	return true
@@ -98,9 +136,13 @@ func (s *Scheduler) Run(stop func() bool) {
 	}
 }
 
-// Reset discards all pending events and rewinds the clock to zero.
+// Reset discards all pending events and rewinds the clock to zero. The
+// queue's backing array is retained.
 func (s *Scheduler) Reset() {
 	s.now = 0
 	s.seq = 0
+	for i := range s.queue {
+		s.queue[i] = event{}
+	}
 	s.queue = s.queue[:0]
 }

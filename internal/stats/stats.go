@@ -332,6 +332,17 @@ func (e *ECDF) Add(x float64) {
 	e.sorted = false
 }
 
+// Reserve pre-grows the sample store to hold n observations, so a
+// collector that knows its sample count up front (the simulator does:
+// batches x batch size) avoids the append regrowth copies.
+func (e *ECDF) Reserve(n int) {
+	if n > cap(e.xs) {
+		xs := make([]float64, len(e.xs), n)
+		copy(xs, e.xs)
+		e.xs = xs
+	}
+}
+
 // N returns the number of observations.
 func (e *ECDF) N() int { return len(e.xs) }
 

@@ -106,11 +106,20 @@ func (b *Bank) Release(agent int) {
 
 // Values returns the wired-OR value of each line, MSB first.
 func (b *Bank) Values() []bool {
-	out := make([]bool, len(b.lines))
-	for i, l := range b.lines {
-		out[i] = l.Value()
+	return b.ValuesInto(make([]bool, len(b.lines)))
+}
+
+// ValuesInto writes the wired-OR value of each line, MSB first, into dst
+// (which must have the bank's width) and returns it. It lets a settle
+// loop read the lines every round without allocating.
+func (b *Bank) ValuesInto(dst []bool) []bool {
+	if len(dst) != len(b.lines) {
+		panic(fmt.Sprintf("wiredor: dst width %d != bank width %d", len(dst), len(b.lines)))
 	}
-	return out
+	for i, l := range b.lines {
+		dst[i] = l.Value()
+	}
+	return dst
 }
 
 // Value returns the bank's wired-OR contents as an unsigned integer.
