@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check fuzz paper examples clean
+.PHONY: all build vet test race bench bench-json check fuzz paper examples trace-demo clean
 
 all: build vet test
 
@@ -23,8 +23,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The full gate: what CI (and a careful PR author) runs.
+# The full gate: what CI (and a careful PR author) runs. gofmt -l
+# prints nothing when the tree is clean; grep flips that into an exit
+# status.
 check: vet build race
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed:"; echo "$$fmt_out"; exit 1; fi
+
+# Regenerate the sample event trace committed under docs/: a small
+# fixed-seed RR1 run through the -trace JSONL exporter.
+trace-demo:
+	$(GO) run ./cmd/arbsim -n 4 -protocol RR1 -load 1.5 -seed 7 \
+		-batches 2 -batchsize 25 -metrics-window 50 \
+		-trace docs/trace-demo.jsonl
 
 # One benchmark per paper table/figure plus ablations and micro-benches.
 bench:

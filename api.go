@@ -2,6 +2,7 @@ package busarb
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"busarb/internal/bussim"
@@ -11,6 +12,7 @@ import (
 	"busarb/internal/experiment"
 	"busarb/internal/membus"
 	"busarb/internal/mp"
+	"busarb/internal/obs"
 	"busarb/internal/snoop"
 	"busarb/internal/stats"
 	"busarb/internal/workload"
@@ -40,6 +42,97 @@ type (
 	ExperimentOpts = experiment.Opts
 )
 
+// Observability layer (internal/obs): a probe receives the simulators'
+// event streams; consumers turn them into traces and windowed metrics.
+// Every simulator Config has an Observer field accepting a Probe; a nil
+// Observer costs nothing.
+type (
+	// Probe receives simulation events.
+	Probe = obs.Probe
+	// Event is one simulation event.
+	Event = obs.Event
+	// EventKind discriminates Event values.
+	EventKind = obs.Kind
+	// MultiProbe fans one event stream out to several probes.
+	MultiProbe = obs.Multi
+	// EventFilter forwards only selected event kinds.
+	EventFilter = obs.Filter
+	// EventBuffer is a probe that records events in memory.
+	EventBuffer = obs.Buffer
+	// EventCounter counts events by kind.
+	EventCounter = obs.Counter
+	// JSONLWriter streams events as JSON Lines (the trace format).
+	JSONLWriter = obs.JSONLWriter
+	// TextTraceWriter streams events as human-readable text.
+	TextTraceWriter = obs.TextWriter
+	// Metrics aggregates events into windowed per-agent metrics.
+	Metrics = obs.Metrics
+	// MetricsWindow is one time slice of a Metrics collection.
+	MetricsWindow = obs.Window
+	// Summary is the cross-simulator headline result.
+	Summary = obs.Summary
+)
+
+// The event kinds.
+const (
+	RequestIssued      = obs.RequestIssued
+	ArbitrationStart   = obs.ArbitrationStart
+	ArbitrationResolve = obs.ArbitrationResolve
+	Repass             = obs.Repass
+	ServiceStart       = obs.ServiceStart
+	ServiceEnd         = obs.ServiceEnd
+	CacheMiss          = obs.CacheMiss
+	Invalidation       = obs.Invalidation
+	BankConflict       = obs.BankConflict
+)
+
+// NewMetrics builds a windowed metrics collector (see Metrics).
+func NewMetrics(width float64) *Metrics { return obs.NewMetrics(width) }
+
+// ReadTrace decodes a JSONL trace back into events, inverting
+// JSONLWriter.
+func ReadTrace(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
+
+// RunConfig is implemented by every simulator configuration: SimConfig,
+// MachineConfig, CoherentConfig, MemBusConfig, and CycleConfig. All of
+// them share the Protocol / Seed / Observer / Horizon field vocabulary.
+type RunConfig interface {
+	// Validate reports a configuration error without running anything.
+	Validate() error
+}
+
+// Report is the cross-simulator result surface: every simulator's
+// result type can summarize itself. Type-assert to the concrete result
+// (*Result, *MachineResult, *CoherentResult, *MemBusResult,
+// *CycleResult) for the simulator-specific measurements.
+type Report interface {
+	Summary() obs.Summary
+}
+
+// Run is the unified entry point: it validates cfg, dispatches to the
+// simulator the config type belongs to, and returns its result. The
+// per-simulator entry points (Simulate, RunMachine, RunCoherent,
+// RunMemBus, RunCycle) remain for code that wants the concrete result
+// type without an assertion.
+func Run(cfg RunConfig) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch c := cfg.(type) {
+	case SimConfig:
+		return bussim.Run(c), nil
+	case MachineConfig:
+		return mp.Run(c), nil
+	case CoherentConfig:
+		return snoop.Run(c), nil
+	case MemBusConfig:
+		return membus.Run(c), nil
+	case CycleConfig:
+		return cyclesim.Run(c), nil
+	}
+	return nil, fmt.Errorf("busarb: unsupported configuration type %T", cfg)
+}
+
 // Protocols returns the registered protocol names, sorted.
 func Protocols() []string {
 	names := core.Names()
@@ -58,6 +151,12 @@ func NewProtocol(name string, n int) (Protocol, error) {
 		return nil, err
 	}
 	return f(n), nil
+}
+
+// NewProtocolFactory returns the Factory for name, for wiring literal
+// protocol names into a Config's Protocol field.
+func NewProtocolFactory(name string) (Factory, error) {
+	return core.ByName(name)
 }
 
 // MustProtocol returns the Factory for name, panicking on unknown names.
@@ -235,17 +334,33 @@ const (
 // RunMemBus simulates the memory-bus machine.
 func RunMemBus(cfg MemBusConfig) *MemBusResult { return membus.Run(cfg) }
 
+// Cycle-level bus (internal/cyclesim): the wired-OR hardware model.
+type (
+	// CycleConfig drives the cycle-level bus under Bernoulli arrivals.
+	CycleConfig = cyclesim.Config
+	// CycleResult reports a cycle-level run's measurements.
+	CycleResult = cyclesim.RunResult
+	// CycleKind selects a line-level protocol implementation.
+	CycleKind = cyclesim.Kind
+)
+
+// RunCycle simulates the cycle-level bus.
+func RunCycle(cfg CycleConfig) *CycleResult { return cyclesim.Run(cfg) }
+
+// LineLevelProtocol maps a protocol name to its line-level Kind. All
+// eight non-hybrid protocols have one: FP, RR1, RR2, RR3, FCFS1,
+// FCFS2, AAP1, AAP2. The error enumerates the supported names.
+func LineLevelProtocol(name string) (CycleKind, error) {
+	return cyclesim.KindByName(name)
+}
+
 // LineLevelBus builds the cycle-accurate wired-OR bus model for the
-// given protocol name ("FP", "RR1", "RR3", "FCFS1", "FCFS2"), the
-// hardware-shaped counterpart of the abstract protocols.
+// given protocol name (see LineLevelProtocol for the supported set),
+// the hardware-shaped counterpart of the abstract protocols.
 func LineLevelBus(name string, n int) (*cyclesim.Bus, error) {
-	kinds := map[string]cyclesim.Kind{
-		"FP": cyclesim.FP, "RR1": cyclesim.RR1, "RR3": cyclesim.RR3,
-		"FCFS1": cyclesim.FCFS1, "FCFS2": cyclesim.FCFS2,
-	}
-	k, ok := kinds[name]
-	if !ok {
-		return nil, fmt.Errorf("busarb: no line-level model for %q", name)
+	k, err := cyclesim.KindByName(name)
+	if err != nil {
+		return nil, err
 	}
 	return cyclesim.New(k, n), nil
 }

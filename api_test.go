@@ -2,6 +2,7 @@ package busarb
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -97,8 +98,121 @@ func TestLineLevelBus(t *testing.T) {
 	if got := b.GrantOrder(); len(got) != 2 || got[0] != 5 {
 		t.Errorf("grants = %v", got)
 	}
-	if _, err := LineLevelBus("AAP1", 6); err == nil {
-		t.Error("AAP1 has no line-level model; want error")
+	// All eight non-hybrid protocols have a line-level model, RR2 and
+	// the AAPs included.
+	for _, name := range []string{"FP", "RR1", "RR2", "RR3", "FCFS1", "FCFS2", "AAP1", "AAP2"} {
+		if _, err := LineLevelBus(name, 4); err != nil {
+			t.Errorf("LineLevelBus(%s): %v", name, err)
+		}
+	}
+	_, err = LineLevelBus("Hybrid", 6)
+	if err == nil {
+		t.Fatal("Hybrid has no line-level model; want error")
+	}
+	// The error must enumerate the supported names.
+	for _, name := range []string{"RR2", "AAP1", "FCFS2"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not enumerate %q", err, name)
+		}
+	}
+}
+
+func mustCycleKind(name string) CycleKind {
+	k, err := LineLevelProtocol(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func TestRunDispatch(t *testing.T) {
+	// Every Config type routes through the single Run entry point and
+	// comes back with a coherent Summary.
+	sc := EqualWorkload(4, 1.5, 1.0)
+	simCfg := SimConfig{Protocol: MustProtocol("RR1"), Seed: 1, Batches: 2, BatchSize: 200}
+	sc.Apply(&simCfg)
+
+	procs := make([]*Processor, 2)
+	for i := range procs {
+		procs[i] = &Processor{
+			Cache:       NewCache(1024, 32, 2),
+			Pattern:     &WorkingSetPattern{Bytes: 16384, WriteFrac: 0.3},
+			CyclePerRef: 0.2,
+		}
+	}
+	cases := []struct {
+		simulator string
+		cfg       RunConfig
+	}{
+		{"bussim", simCfg},
+		{"mp", MachineConfig{Processors: procs, Protocol: MustProtocol("RR1"),
+			Seed: 2, Batches: 2, BatchSize: 100}},
+		{"snoop", CoherentConfig{
+			Procs: []*CoherentProc{
+				{Pattern: &WorkingSetPattern{Bytes: 8192, WriteFrac: 0.4}, CyclePerRef: 0.5},
+				{Pattern: &WorkingSetPattern{Bytes: 8192, WriteFrac: 0.4}, CyclePerRef: 0.5},
+			},
+			Protocol: MustProtocol("RR1"), Seed: 3, Horizon: 100}},
+		{"membus", MemBusConfig{N: 4, Banks: 2, Protocol: MustProtocol("RR1"),
+			Inter: simCfg.Inter, Seed: 4, Batches: 2, BatchSize: 100}},
+		{"cyclesim", CycleConfig{Protocol: mustCycleKind("RR1"), N: 4, Seed: 5, Horizon: 200}},
+	}
+	for _, tc := range cases {
+		rep, err := Run(tc.cfg)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", tc.simulator, err)
+		}
+		s := rep.Summary()
+		if s.Simulator != tc.simulator {
+			t.Errorf("Summary().Simulator = %q, want %q", s.Simulator, tc.simulator)
+		}
+		if s.Grants == 0 || s.N == 0 {
+			t.Errorf("%s summary = %+v", tc.simulator, s)
+		}
+	}
+}
+
+func TestRunValidatesInsteadOfPanicking(t *testing.T) {
+	// A broken config comes back as an error from Run, not a panic.
+	if _, err := Run(SimConfig{N: 1}); err == nil {
+		t.Error("Run accepted a 1-agent SimConfig")
+	}
+	if _, err := Run(MemBusConfig{N: 0}); err == nil {
+		t.Error("Run accepted an empty MemBusConfig")
+	}
+	if _, err := Run(CycleConfig{}); err == nil {
+		t.Error("Run accepted an empty CycleConfig")
+	}
+}
+
+func TestNewProtocolFactory(t *testing.T) {
+	f, err := NewProtocolFactory("FCFS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := f(6); p.Name() != "FCFS1" || p.N() != 6 {
+		t.Errorf("factory built %v/%d", p.Name(), p.N())
+	}
+	if _, err := NewProtocolFactory("bogus"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestObserverThroughFacade(t *testing.T) {
+	var buf EventBuffer
+	sc := EqualWorkload(4, 1.5, 1.0)
+	cfg := SimConfig{Protocol: MustProtocol("RR1"), Seed: 1, Batches: 2, BatchSize: 100,
+		Observer: &buf}
+	sc.Apply(&cfg)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var counter EventCounter
+	for _, e := range buf.Events() {
+		counter.OnEvent(e)
+	}
+	if counter.Count(ServiceEnd) == 0 || counter.Count(RequestIssued) == 0 {
+		t.Errorf("facade probe saw %+v", counter)
 	}
 }
 

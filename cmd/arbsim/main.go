@@ -9,7 +9,8 @@
 //	arbsim -n 30 -protocol FCFS2 -scaled 4          # agent 1 at 4x rate
 //	arbsim -n 10 -protocol RR1 -worstcase -cv 0     # the §4.5 scenario
 //	arbsim -scenario machine.json -json             # heterogeneous agents
-//	arbsim -n 8 -protocol RR3 -trace -batchsize 50  # event trace to stderr
+//	arbsim -n 8 -protocol RR3 -trace run.jsonl -batchsize 50  # JSONL event trace
+//	arbsim -n 10 -protocol RR1 -metrics-window 500  # windowed per-agent metrics
 package main
 
 import (
@@ -23,9 +24,9 @@ import (
 	"busarb/internal/core"
 	"busarb/internal/experiment"
 	"busarb/internal/mp"
+	"busarb/internal/obs"
 	"busarb/internal/report"
 	"busarb/internal/scenario"
-	"busarb/internal/trace"
 	"busarb/internal/workload"
 )
 
@@ -124,7 +125,8 @@ func main() {
 		batchSize = flag.Int("batchsize", 8000, "completions per batch")
 		perAgent  = flag.Bool("peragent", false, "print per-agent throughput and waiting time")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON")
-		doTrace   = flag.Bool("trace", false, "stream simulation events to stderr")
+		traceFile = flag.String("trace", "", "write a JSONL event trace to this file")
+		metricsW  = flag.Float64("metrics-window", 0, "collect per-agent metrics in windows of this width (time units) and print them after the run")
 		window    = flag.Int("window", 1, "outstanding requests per agent (>1 uses the multi-outstanding FCFS of §3.2)")
 		compare   = flag.String("compare", "", "comma-separated protocols to run side by side (overrides -protocol)")
 		parallel  = flag.Int("parallel", 1, "concurrent simulations for -compare (1 = sequential; results are identical)")
@@ -194,16 +196,58 @@ func main() {
 		sc.Apply(&cfg)
 		name = sc.Name
 	}
-	if *doTrace {
-		cfg.Trace = &trace.Writer{W: os.Stderr}
+	// Observability: an optional JSONL trace file and optional windowed
+	// metrics, fanned out to one Observer.
+	var probes obs.Multi
+	var traceW *obs.JSONLWriter
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arbsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceW = &obs.JSONLWriter{W: f}
+		probes = append(probes, traceW)
+	}
+	var metrics *obs.Metrics
+	metricsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "metrics-window" {
+			metricsSet = true
+		}
+	})
+	if metricsSet {
+		if *metricsW <= 0 {
+			fmt.Fprintf(os.Stderr, "arbsim: -metrics-window must be positive, got %v\n", *metricsW)
+			os.Exit(1)
+		}
+		metrics = obs.NewMetrics(*metricsW)
+		probes = append(probes, metrics)
+	}
+	switch len(probes) {
+	case 0:
+	case 1:
+		cfg.Observer = probes[0]
+	default:
+		cfg.Observer = probes
 	}
 	res := bussim.Run(cfg)
 	nAgents := cfg.N
+	if traceW != nil && traceW.Err != nil {
+		fmt.Fprintln(os.Stderr, "arbsim: trace write failed:", traceW.Err)
+		os.Exit(1)
+	}
 
 	if *asJSON {
 		if err := report.WriteResultJSON(os.Stdout, res); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if metrics != nil {
+			// Keep stdout pure JSON; the table goes to stderr.
+			metrics.Flush(res.WallTime)
+			metrics.WriteTable(os.Stderr)
 		}
 		return
 	}
@@ -224,6 +268,15 @@ func main() {
 		for id := 1; id <= nAgents; id++ {
 			fmt.Printf("  %5d   %-15s  %8.2f\n",
 				id, res.AgentThroughput[id-1], res.AgentWait[id-1].Mean())
+		}
+	}
+
+	if metrics != nil {
+		metrics.Flush(res.WallTime)
+		fmt.Println()
+		if err := metrics.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

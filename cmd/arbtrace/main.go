@@ -19,14 +19,14 @@ import (
 	"busarb/internal/contention"
 	"busarb/internal/cyclesim"
 	"busarb/internal/ident"
-	"busarb/internal/rng"
+	"busarb/internal/obs"
 )
 
 func main() {
 	var (
 		ids       = flag.String("ids", "85,28", "competing identities for the settle trace (decimal)")
 		n         = flag.Int("n", 8, "agents for the protocol trace")
-		protoName = flag.String("protocol", "RR1", "line-level protocol: FP, RR1, RR3, FCFS1, FCFS2")
+		protoName = flag.String("protocol", "RR1", "line-level protocol: FP, RR1, RR2, RR3, FCFS1, FCFS2, AAP1, AAP2")
 		ticks     = flag.Int("ticks", 40, "cycle-level ticks to trace")
 		seed      = flag.Uint64("seed", 1, "random seed for request arrivals")
 	)
@@ -84,35 +84,44 @@ func bitString(bs []bool) string {
 	return b.String()
 }
 
-func traceProtocol(name string, n, ticks int, seed uint64) error {
-	kinds := map[string]cyclesim.Kind{
-		"FP": cyclesim.FP, "RR1": cyclesim.RR1, "RR3": cyclesim.RR3,
-		"FCFS1": cyclesim.FCFS1, "FCFS2": cyclesim.FCFS2,
+// printProbe renders the cycle-level event stream as one trace line per
+// interesting event.
+type printProbe struct{}
+
+func (printProbe) OnEvent(e obs.Event) {
+	switch e.Kind {
+	case obs.RequestIssued:
+		fmt.Printf("  tick %3.0f: agent %d asserts bus request\n", e.Time, e.Agent)
+	case obs.ArbitrationStart:
+		fmt.Printf("  tick %3.0f: agents %v compete on the arbitration lines\n", e.Time, e.Agents)
+	case obs.Repass:
+		fmt.Printf("  tick %3.0f: empty arbitration pass (repass)\n", e.Time)
+	case obs.ServiceStart:
+		fmt.Printf("  tick %3.0f: agent %d becomes bus master\n", e.Time, e.Agent)
 	}
-	kind, ok := kinds[name]
-	if !ok {
-		return fmt.Errorf("arbtrace: no line-level model for %q", name)
+}
+
+func traceProtocol(name string, n, ticks int, seed uint64) error {
+	kind, err := cyclesim.KindByName(name)
+	if err != nil {
+		return fmt.Errorf("arbtrace: %w", err)
 	}
 	if n < 2 {
 		return fmt.Errorf("arbtrace: need at least 2 agents, got %d", n)
 	}
-	bus := cyclesim.New(kind, n)
-	src := rng.New(seed)
-
-	fmt.Printf("Cycle-level %s bus, %d agents (1 tick = half a transaction):\n", name, n)
-	for tick := 0; tick < ticks; tick++ {
-		if src.Intn(3) == 0 {
-			id := 1 + src.Intn(n)
-			if !bus.Waiting(id) {
-				bus.Request(id)
-				fmt.Printf("  tick %3d: agent %d asserts bus request\n", tick, id)
-			}
-		}
-		if g := bus.Step(); g != nil {
-			fmt.Printf("  tick %3d: agent %d becomes bus master\n", g.StartTick, g.Agent)
-		}
+	cfg := cyclesim.Config{
+		Protocol: kind,
+		N:        n,
+		Seed:     seed,
+		Horizon:  float64(ticks),
+		Observer: printProbe{},
 	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("arbtrace: %w", err)
+	}
+	fmt.Printf("Cycle-level %s bus, %d agents (1 tick = half a transaction):\n", name, n)
+	res := cyclesim.Run(cfg)
 	fmt.Printf("totals: %d arbitrations, %d empty passes, %d wired-OR settle rounds\n",
-		bus.Arbitrations, bus.EmptyPasses, bus.SettleRounds)
+		res.Arbitrations, res.EmptyPasses, res.SettleRounds)
 	return nil
 }

@@ -1,0 +1,37 @@
+package bussim
+
+import (
+	"testing"
+
+	"busarb/internal/core"
+)
+
+// TestNilObserverSteadyStateAllocs pins the zero-cost contract's
+// performance half: with a nil Observer, the per-event simulation path
+// allocates nothing. Doubling the batch count doubles the number of
+// simulated events but must not change the allocation count — every
+// allocation belongs to setup and result assembly, which are identical
+// between the two runs.
+func TestNilObserverSteadyStateAllocs(t *testing.T) {
+	f, err := core.ByName("RR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := func(batches int) Config {
+		return Config{
+			N:        4,
+			Protocol: f,
+			Inter:    UniformLoad(4, 2.0, 1.0, 1.0),
+			Seed:     5,
+			Batches:  batches, BatchSize: 200,
+		}
+	}
+	// Warm any lazy runtime state before measuring.
+	Run(cfg(1))
+	base := testing.AllocsPerRun(3, func() { Run(cfg(2)) })
+	doubled := testing.AllocsPerRun(3, func() { Run(cfg(4)) })
+	if doubled != base {
+		t.Errorf("allocs grew with event count: %v for 2 batches vs %v for 4; "+
+			"the nil-Observer per-event path must be allocation-free", base, doubled)
+	}
+}

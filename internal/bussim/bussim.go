@@ -27,10 +27,10 @@ import (
 
 	"busarb/internal/core"
 	"busarb/internal/dist"
+	"busarb/internal/obs"
 	"busarb/internal/rng"
 	"busarb/internal/sim"
 	"busarb/internal/stats"
-	"busarb/internal/trace"
 )
 
 // Config describes one simulation run.
@@ -91,9 +91,17 @@ type Config struct {
 	// arriving mid-transaction with no arbitration pending waits for
 	// the transaction to end and then pays an exposed arbitration.
 	BoundaryArbOnly bool
-	// Trace, if non-nil, receives every simulation event (request,
-	// arbitration start/resolve/repass, grant, completion).
-	Trace trace.Sink
+	// Observer, if non-nil, receives every simulation event (request,
+	// arbitration start/resolve/repass, service start/end). A nil
+	// Observer costs nothing: the hot loops guard every emission with
+	// a nil check, so unobserved runs stay allocation-free and
+	// bit-identical.
+	Observer obs.Probe
+	// Horizon, when positive, ends the run once the simulated clock
+	// reaches it, even if the batch-means completion target has not
+	// been met (partial final batches are discarded). Zero means run
+	// to the completion target (the default).
+	Horizon float64
 	// Window is the per-agent outstanding-request limit (default 1).
 	// Values above 1 model processors that pipeline bus requests and
 	// require a protocol built for it (core.MultiFCFS, §3.2): an agent
@@ -227,6 +235,19 @@ func meanInterHint(cfg Config) float64 {
 	return cfg.Inter[0].Mean()
 }
 
+// Summary implements the cross-simulator Report surface of the
+// busarb facade.
+func (r *Result) Summary() obs.Summary {
+	return obs.Summary{
+		Simulator:   "bussim",
+		Protocol:    r.ProtocolName,
+		N:           r.N,
+		Time:        r.WallTime,
+		Grants:      r.Completions,
+		Utilization: r.Utilization.Mean,
+	}
+}
+
 // ThroughputRatio returns the batch-means estimate of agent a's
 // throughput over agent b's (identities 1..N), e.g. highest/lowest for
 // Table 4.1.
@@ -311,40 +332,63 @@ type system struct {
 	res            *Result
 }
 
-// Run executes the simulation described by cfg and returns its Result.
-func Run(cfg Config) *Result {
+// Validate checks the configuration without running it; Run panics on
+// exactly these errors. Every simulator Config in this repository
+// shares this pre-flight contract — the busarb.Run facade calls it and
+// returns the error instead of panicking.
+func (cfg Config) Validate() error {
 	if cfg.N <= 0 {
-		panic("bussim: N must be positive")
+		return fmt.Errorf("bussim: N must be positive")
 	}
 	if cfg.Protocol == nil {
-		panic("bussim: Protocol factory required")
+		return fmt.Errorf("bussim: Protocol factory required")
 	}
 	switch {
 	case cfg.Sources != nil && cfg.Inter != nil:
-		panic("bussim: set exactly one of Inter and Sources")
+		return fmt.Errorf("bussim: set exactly one of Inter and Sources")
 	case cfg.Sources != nil:
 		if len(cfg.Sources) != cfg.N {
-			panic(fmt.Sprintf("bussim: len(Sources)=%d, want N=%d", len(cfg.Sources), cfg.N))
+			return fmt.Errorf("bussim: len(Sources)=%d, want N=%d", len(cfg.Sources), cfg.N)
 		}
 	case len(cfg.Inter) != cfg.N:
-		panic(fmt.Sprintf("bussim: len(Inter)=%d, want N=%d", len(cfg.Inter), cfg.N))
+		return fmt.Errorf("bussim: len(Inter)=%d, want N=%d", len(cfg.Inter), cfg.N)
 	}
 	if cfg.UrgentProb != nil && len(cfg.UrgentProb) != cfg.N {
-		panic("bussim: len(UrgentProb) must equal N")
+		return fmt.Errorf("bussim: len(UrgentProb) must equal N")
+	}
+	service, arbOvh := cfg.Service, cfg.ArbOverhead
+	if service == 0 {
+		service = 1.0
+	}
+	if arbOvh == 0 {
+		arbOvh = 0.5
+	}
+	if service <= 0 || arbOvh <= 0 {
+		return fmt.Errorf("bussim: need positive Service and ArbOverhead, got %v, %v",
+			cfg.Service, cfg.ArbOverhead)
+	}
+	if cfg.ServiceDist == nil && arbOvh > service {
+		return fmt.Errorf("bussim: ArbOverhead %v exceeds Service %v", arbOvh, service)
+	}
+	if cfg.Horizon < 0 {
+		return fmt.Errorf("bussim: negative Horizon %v", cfg.Horizon)
+	}
+	if cfg.Window < 0 {
+		return fmt.Errorf("bussim: Window %d < 1", cfg.Window)
+	}
+	return nil
+}
+
+// Run executes the simulation described by cfg and returns its Result.
+func Run(cfg Config) *Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.Service == 0 {
 		cfg.Service = 1.0
 	}
 	if cfg.ArbOverhead == 0 {
 		cfg.ArbOverhead = 0.5
-	}
-	if cfg.Service <= 0 || cfg.ArbOverhead <= 0 {
-		panic(fmt.Sprintf("bussim: need positive Service and ArbOverhead, got %v, %v",
-			cfg.Service, cfg.ArbOverhead))
-	}
-	if cfg.ServiceDist == nil && cfg.ArbOverhead > cfg.Service {
-		panic(fmt.Sprintf("bussim: ArbOverhead %v exceeds Service %v",
-			cfg.ArbOverhead, cfg.Service))
 	}
 	if cfg.Batches == 0 {
 		cfg.Batches = 10
@@ -354,9 +398,6 @@ func Run(cfg Config) *Result {
 	}
 	if cfg.Window == 0 {
 		cfg.Window = 1
-	}
-	if cfg.Window < 1 {
-		panic(fmt.Sprintf("bussim: Window %d < 1", cfg.Window))
 	}
 	if cfg.Warmup == 0 {
 		cfg.Warmup = cfg.BatchSize
@@ -442,6 +483,13 @@ func Run(cfg Config) *Result {
 		s.scheduleNextRequest(a)
 	}
 
+	if cfg.Horizon > 0 {
+		// A hard stop at the horizon: measurement simply ends there,
+		// discarding any partial batch in progress. With Horizon == 0
+		// no event is scheduled and the run is bit-identical to the
+		// pre-Horizon engine.
+		s.sched.At(cfg.Horizon, func() { s.done = true })
+	}
 	s.sched.Run(func() bool { return s.done })
 	s.finish()
 	return s.res
@@ -476,7 +524,7 @@ func (s *system) requestArrives(a *agentState) {
 	} else {
 		s.proto.OnRequest(a.id, s.sched.Now())
 	}
-	s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.Request, Agent: a.id, Urgent: a.urgent})
+	s.emit(obs.Event{Time: s.sched.Now(), Kind: obs.RequestIssued, Agent: a.id, Urgent: a.urgent})
 	// Arbitration is overlapped with bus service whenever possible: if no
 	// arbitration is in flight and no winner is already lined up, the
 	// request line going high starts one immediately. Its delay is
@@ -518,19 +566,19 @@ func (s *system) beginArbitration(exposed bool) {
 		s.res.ExposedArbs++
 	}
 	s.snapshotWaiting()
-	if s.cfg.Trace != nil {
-		// Sinks may retain events, so the shared snapshot buffer must
-		// be copied out (tracing runs are not the allocation-free path).
-		s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.ArbStart,
+	if s.cfg.Observer != nil {
+		// Probes may retain events, so the shared snapshot buffer must
+		// be copied out (observed runs are not the allocation-free path).
+		s.emit(obs.Event{Time: s.sched.Now(), Kind: obs.ArbitrationStart,
 			Agents: append([]int(nil), s.arbSnap...)})
 	}
 	s.sched.After(s.arbOvh, s.resolveFn)
 }
 
-// emit forwards an event to the configured trace sink, if any.
-func (s *system) emit(e trace.Event) {
-	if s.cfg.Trace != nil {
-		s.cfg.Trace.Record(e)
+// emit forwards an event to the configured observer, if any.
+func (s *system) emit(e obs.Event) {
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnEvent(e)
 	}
 }
 
@@ -543,7 +591,7 @@ func (s *system) resolveArbitration() {
 	out := s.proto.Arbitrate(s.arbSnap)
 	if out.Repass {
 		s.res.Repasses++
-		s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.ArbRepass})
+		s.emit(obs.Event{Time: s.sched.Now(), Kind: obs.Repass})
 		// A fresh pass starts immediately with a fresh request-line
 		// snapshot; it costs another arbitration delay, which may spill
 		// past the current transaction's end (handled by completeService
@@ -555,7 +603,7 @@ func (s *system) resolveArbitration() {
 	s.res.Arbitrations++
 	s.arbitrating = false
 	w := out.Winner
-	s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.ArbResolve, Agent: w})
+	s.emit(obs.Event{Time: s.sched.Now(), Kind: obs.ArbitrationResolve, Agent: w})
 	if !s.agents[w].waiting() {
 		panic(fmt.Sprintf("bussim: protocol %s granted non-waiting agent %d", s.proto.Name(), w))
 	}
@@ -579,7 +627,7 @@ func (s *system) startService(id int) {
 	s.busBusy = true
 	s.pendingWin = 0
 	s.proto.OnServiceStart(id, s.sched.Now())
-	s.emit(trace.Event{Time: s.sched.Now(), Kind: trace.Grant, Agent: id})
+	s.emit(obs.Event{Time: s.sched.Now(), Kind: obs.ServiceStart, Agent: id})
 	dur := s.service
 	if s.cfg.ServiceDist != nil {
 		dur = s.cfg.ServiceDist.Sample(s.serviceSrc)
@@ -596,7 +644,7 @@ func (s *system) startService(id int) {
 func (s *system) completeService(a *agentState) {
 	s.busBusy = false
 	now := s.sched.Now()
-	s.emit(trace.Event{Time: now, Kind: trace.Complete, Agent: a.id})
+	s.emit(obs.Event{Time: now, Kind: obs.ServiceEnd, Agent: a.id})
 	s.recordCompletion(a, now-a.curGenTime, a.curDur)
 	a.outstanding--
 	if a.genBlocked {

@@ -4,17 +4,17 @@ import (
 	"testing"
 
 	"busarb/internal/core"
-	"busarb/internal/trace"
+	"busarb/internal/obs"
 )
 
 // runTraced runs a small traced simulation and returns the events.
-func runTraced(t *testing.T, proto string, load float64, lateJoin bool) []trace.Event {
+func runTraced(t *testing.T, proto string, load float64, lateJoin bool) []obs.Event {
 	t.Helper()
 	f, err := core.ByName(proto)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf trace.Buffer
+	var buf obs.Buffer
 	Run(Config{
 		N:        8,
 		Protocol: f,
@@ -23,7 +23,7 @@ func runTraced(t *testing.T, proto string, load float64, lateJoin bool) []trace.
 		Batches:  2, BatchSize: 1000,
 		Warmup:   -1,
 		LateJoin: lateJoin,
-		Trace:    &buf,
+		Observer: &buf,
 	})
 	return buf.Events()
 }
@@ -48,20 +48,20 @@ func TestTraceScheduleInvariants(t *testing.T) {
 		grantTime := map[int]float64{}
 		for i, e := range events {
 			switch e.Kind {
-			case trace.Request:
+			case obs.RequestIssued:
 				if waiting[e.Agent] {
 					t.Fatalf("%s: event %d: agent %d requested twice", proto, i, e.Agent)
 				}
 				waiting[e.Agent] = true
-			case trace.ArbStart:
+			case obs.ArbitrationStart:
 				for _, id := range e.Agents {
 					if !waiting[id] {
 						t.Fatalf("%s: event %d: competitor %d not waiting", proto, i, id)
 					}
 				}
-			case trace.ArbResolve:
+			case obs.ArbitrationResolve:
 				lastResolved = e.Agent
-			case trace.Grant:
+			case obs.ServiceStart:
 				if e.Agent != lastResolved {
 					t.Fatalf("%s: event %d: grant %d but last resolution was %d",
 						proto, i, e.Agent, lastResolved)
@@ -76,7 +76,7 @@ func TestTraceScheduleInvariants(t *testing.T) {
 				waiting[e.Agent] = false
 				busyUntil = e.Time + 1.0
 				grantTime[e.Agent] = e.Time
-			case trace.Complete:
+			case obs.ServiceEnd:
 				if got := e.Time - grantTime[e.Agent]; got < 1.0-1e-9 || got > 1.0+1e-9 {
 					t.Fatalf("%s: event %d: service time %v, want 1.0", proto, i, got)
 				}
@@ -95,9 +95,9 @@ func TestTraceArbitrationOverlap(t *testing.T) {
 	backToBack := 0
 	for _, e := range events {
 		switch e.Kind {
-		case trace.ArbStart:
+		case obs.ArbitrationStart:
 			lastArbStart = e.Time
-		case trace.Grant:
+		case obs.ServiceStart:
 			if lastGrant >= 0 && e.Time == lastGrant+1.0 {
 				backToBack++
 				if lastArbStart < lastGrant-1e-9 {
@@ -115,7 +115,7 @@ func TestTraceArbitrationOverlap(t *testing.T) {
 
 // TestTraceRepassOnlyRR3 ensures repass events appear exactly for RR3.
 func TestTraceRepassOnlyRR3(t *testing.T) {
-	count := func(events []trace.Event, k trace.Kind) int {
+	count := func(events []obs.Event, k obs.Kind) int {
 		n := 0
 		for _, e := range events {
 			if e.Kind == k {
@@ -124,10 +124,10 @@ func TestTraceRepassOnlyRR3(t *testing.T) {
 		}
 		return n
 	}
-	if n := count(runTraced(t, "RR3", 0.5, false), trace.ArbRepass); n == 0 {
+	if n := count(runTraced(t, "RR3", 0.5, false), obs.Repass); n == 0 {
 		t.Error("RR3 trace has no repasses")
 	}
-	if n := count(runTraced(t, "RR1", 0.5, false), trace.ArbRepass); n != 0 {
+	if n := count(runTraced(t, "RR1", 0.5, false), obs.Repass); n != 0 {
 		t.Errorf("RR1 trace has %d repasses", n)
 	}
 }
@@ -139,9 +139,9 @@ func TestTraceFCFSOrder(t *testing.T) {
 	var queue []int
 	for i, e := range events {
 		switch e.Kind {
-		case trace.Request:
+		case obs.RequestIssued:
 			queue = append(queue, e.Agent)
-		case trace.Grant:
+		case obs.ServiceStart:
 			if len(queue) == 0 {
 				t.Fatalf("event %d: grant with empty queue", i)
 			}

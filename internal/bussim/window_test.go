@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"busarb/internal/core"
-	"busarb/internal/trace"
+	"busarb/internal/obs"
 )
 
 // multiFactory builds the §3.2 multi-outstanding FCFS protocol.
@@ -77,21 +77,21 @@ func TestWindow1MultiFCFSMatchesFCFS2(t *testing.T) {
 func TestWindowedRunGlobalFCFSOrder(t *testing.T) {
 	// With Window=4, every grant must still follow global generation
 	// order (the §3.2 claim), verified from the event trace.
-	var buf trace.Buffer
+	var buf obs.Buffer
 	Run(Config{
 		N: 6, Protocol: multiFactory(4), Window: 4, Seed: 9,
 		Inter:   UniformLoad(6, 3.0, 1.0, 1.0),
 		Batches: 2, BatchSize: 1000,
-		Warmup: -1,
-		Trace:  &buf,
+		Warmup:   -1,
+		Observer: &buf,
 	})
 	var queue []int // agent ids in request order
 	grants := 0
 	for i, e := range buf.Events() {
 		switch e.Kind {
-		case trace.Request:
+		case obs.RequestIssued:
 			queue = append(queue, e.Agent)
-		case trace.Grant:
+		case obs.ServiceStart:
 			if len(queue) == 0 {
 				t.Fatalf("event %d: grant with no outstanding request", i)
 			}
@@ -127,11 +127,11 @@ func TestWindowRaisesCarriedLoad(t *testing.T) {
 func TestWindowedAgentCanGoBackToBack(t *testing.T) {
 	// One agent with a deep window and a long-idle competitor: the
 	// windowed agent must be able to hold consecutive bus tenures.
-	var buf trace.Buffer
+	var buf obs.Buffer
 	cfg := Config{
 		N: 2, Protocol: multiFactory(8), Window: 8, Seed: 2,
 		Batches: 1, BatchSize: 400, Warmup: -1,
-		Trace: &buf,
+		Observer: &buf,
 	}
 	cfg.Inter = UniformLoad(2, 1.8, 1.0, 1.0)
 	// Agent 2 requests rarely.
@@ -139,7 +139,7 @@ func TestWindowedAgentCanGoBackToBack(t *testing.T) {
 	Run(cfg)
 	prev, consecutive := 0, 0
 	for _, e := range buf.Events() {
-		if e.Kind != trace.Grant {
+		if e.Kind != obs.ServiceStart {
 			continue
 		}
 		if e.Agent == 1 && prev == 1 {

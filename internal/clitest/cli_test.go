@@ -73,8 +73,11 @@ func TestCLIFailurePathsExitNonZero(t *testing.T) {
 		{"arbsim unknown compare entry", "arbsim", []string{"-compare", "RR1,BOGUS"}, "", 1, "unknown protocol"},
 		{"arbsim blank compare list", "arbsim", []string{"-compare", " , "}, "", 1, "non-empty protocol list"},
 		{"arbsim missing scenario file", "arbsim", []string{"-scenario", "/nonexistent/file.json"}, "", 1, "no such file"},
+		{"arbsim bad trace path", "arbsim", []string{"-n", "4", "-batches", "2", "-batchsize", "100", "-trace", "/nonexistent/dir/t.jsonl"}, "", 1, "no such file"},
+		{"arbsim non-positive metrics window", "arbsim", []string{"-n", "4", "-batches", "2", "-batchsize", "100", "-metrics-window", "0"}, "", 1, "must be positive"},
 		{"arbtrace bad identity", "arbtrace", []string{"-ids", "0"}, "", 1, "bad identity"},
-		{"arbtrace unknown protocol", "arbtrace", []string{"-protocol", "AAP1"}, "", 1, "no line-level model"},
+		{"arbtrace unknown protocol", "arbtrace", []string{"-protocol", "Hybrid"}, "", 1, "no line-level model"},
+		{"arbverify cross unknown protocol", "arbverify", []string{"-cross", "-protocol", "Hybrid"}, "", 1, "no line-level model"},
 		{"arbtrace too few agents", "arbtrace", []string{"-n", "1"}, "", 1, "at least 2 agents"},
 		{"arbverify unknown protocol", "arbverify", []string{"-protocol", "BOGUS"}, "", 1, "unknown protocol"},
 		{"arbverify too few agents", "arbverify", []string{"-n", "1"}, "", 1, "at least 2 agents"},
@@ -111,7 +114,9 @@ func TestCLISuccessPathsExitZero(t *testing.T) {
 		{"arbsim quick run", "arbsim", []string{"-n", "4", "-batches", "2", "-batchsize", "100"}, ""},
 		{"arbsim compare parallel", "arbsim", []string{"-compare", "RR1,FCFS1", "-n", "4", "-batches", "2", "-batchsize", "100", "-parallel", "2"}, ""},
 		{"arbtrace defaults", "arbtrace", []string{"-ticks", "10"}, ""},
+		{"arbtrace RR2 line-level", "arbtrace", []string{"-protocol", "RR2", "-ticks", "10"}, ""},
 		{"arbverify RR1 small", "arbverify", []string{"-protocol", "RR1", "-n", "3"}, ""},
+		{"arbverify cross RR2", "arbverify", []string{"-cross", "-protocol", "RR2", "-n", "4", "-trials", "3", "-ticks", "100"}, ""},
 		{"paper tiny table", "paper", []string{"-table", "4.5", "-sizes", "5", "-batches", "2", "-batchsize", "100"}, ""},
 		{"benchjson parses bench output", "benchjson", []string{"-date", "2026-08-06"},
 			"BenchmarkX 	 10 	 100 ns/op 	 8 B/op 	 1 allocs/op\n"},

@@ -20,6 +20,7 @@ import (
 
 	"busarb/internal/contention"
 	"busarb/internal/ident"
+	"busarb/internal/obs"
 	"busarb/internal/wiredor"
 )
 
@@ -195,9 +196,15 @@ type Bus struct {
 	lowreq *wiredor.Line // RR2 only
 	agents []*agentCtl
 
+	// Observer, if non-nil, receives the bus's event stream. Event
+	// times are in ticks (half bus transactions), this model's native
+	// unit. Set it before the first Step.
+	Observer obs.Probe
+
 	tick       int64
 	busyTicks  int  // remaining ticks of the current transfer
 	nextMaster int  // latched winner for the next transfer (0 = none)
+	curMaster  int  // agent of the in-flight transfer (0 = none)
 	arbNeeded  bool // an arbitration should run this tick
 	grants     []Grant
 	// Per-arbitration scratch, reused so steady-state ticks do not
@@ -302,6 +309,10 @@ func (b *Bus) requestClass(id int, urgent bool) {
 	a.wanting = true
 	a.urgent = urgent
 	a.counter = 0
+	if b.Observer != nil {
+		b.Observer.OnEvent(obs.Event{Time: float64(b.tick), Kind: obs.RequestIssued,
+			Agent: id, Urgent: urgent})
+	}
 	switch b.kind {
 	case AAP1:
 		if b.breq.Value() {
@@ -332,6 +343,15 @@ func (b *Bus) Waiting(id int) bool { return b.agents[id].wanting }
 // returns the grant that started this tick, if any.
 func (b *Bus) Step() *Grant {
 	var granted *Grant
+	// The previous transfer's tenure is over once its ticks have run
+	// out; the bus frees at this tick boundary.
+	if b.busyTicks == 0 && b.curMaster != 0 {
+		if b.Observer != nil {
+			b.Observer.OnEvent(obs.Event{Time: float64(b.tick), Kind: obs.ServiceEnd,
+				Agent: b.curMaster})
+		}
+		b.curMaster = 0
+	}
 	// A latched winner takes mastership when the bus frees.
 	if b.busyTicks == 0 && b.nextMaster != 0 {
 		granted = b.startTransfer(b.nextMaster)
@@ -389,6 +409,10 @@ func (b *Bus) startTransfer(id int) *Grant {
 		a.inhibited = true
 	}
 	b.busyTicks = 2
+	b.curMaster = id
+	if b.Observer != nil {
+		b.Observer.OnEvent(obs.Event{Time: float64(b.tick), Kind: obs.ServiceStart, Agent: id})
+	}
 	g := Grant{Agent: id, StartTick: b.tick}
 	b.grants = append(b.grants, g)
 	return &b.grants[len(b.grants)-1]
@@ -428,6 +452,14 @@ func (b *Bus) runArbitration() {
 		}
 	}
 	b.comps = comps
+	if b.Observer != nil {
+		ids := make([]int, len(comps))
+		for i, c := range comps {
+			ids[i] = c.Agent
+		}
+		b.Observer.OnEvent(obs.Event{Time: float64(b.tick), Kind: obs.ArbitrationStart,
+			Agents: ids})
+	}
 	res := b.arb.Run(comps)
 	b.SettleRounds += int64(res.Rounds)
 	b.Arbitrations++
@@ -438,10 +470,17 @@ func (b *Bus) runArbitration() {
 		// Empty pass (RR3): all agents recorded N+1; rerun next tick.
 		b.EmptyPasses++
 		b.arbNeeded = true
+		if b.Observer != nil {
+			b.Observer.OnEvent(obs.Event{Time: float64(b.tick), Kind: obs.Repass})
+		}
 		return
 	}
 	b.arbNeeded = false
 	b.nextMaster = comps[res.Winner].Agent
+	if b.Observer != nil {
+		b.Observer.OnEvent(obs.Event{Time: float64(b.tick), Kind: obs.ArbitrationResolve,
+			Agent: b.nextMaster})
+	}
 }
 
 // anyWanting reports whether any agent holds an outstanding request

@@ -1,0 +1,154 @@
+package cyclesim
+
+import (
+	"fmt"
+
+	"busarb/internal/obs"
+	"busarb/internal/rng"
+)
+
+// kindNames is the name → Kind table, in display order.
+var kindNames = []struct {
+	name string
+	kind Kind
+}{
+	{"FP", FP}, {"RR1", RR1}, {"RR2", RR2}, {"RR3", RR3},
+	{"FCFS1", FCFS1}, {"FCFS2", FCFS2}, {"AAP1", AAP1}, {"AAP2", AAP2},
+}
+
+// KindNames returns the protocol names with a line-level model, in
+// display order.
+func KindNames() []string {
+	out := make([]string, len(kindNames))
+	for i, kn := range kindNames {
+		out[i] = kn.name
+	}
+	return out
+}
+
+// KindByName maps a protocol name to its line-level Kind. The error
+// enumerates the supported names.
+func KindByName(name string) (Kind, error) {
+	for _, kn := range kindNames {
+		if kn.name == name {
+			return kn.kind, nil
+		}
+	}
+	return 0, fmt.Errorf("cyclesim: no line-level model for %q (supported: %v)",
+		name, KindNames())
+}
+
+// Config drives a cycle-level bus under Bernoulli request arrivals:
+// the line-level counterpart of a bussim run, sharing the unified
+// Protocol/Seed/Observer/Horizon configuration shape.
+type Config struct {
+	// Protocol selects the line-level protocol implementation.
+	Protocol Kind
+	// N is the number of agents (>= 2).
+	N int
+	// Seed drives the request arrivals; runs are reproducible.
+	Seed uint64
+	// Observer, if non-nil, receives the event stream. Times are in
+	// ticks — half bus transactions, this model's native unit.
+	Observer obs.Probe
+	// Horizon is the number of ticks to simulate (required, positive).
+	Horizon float64
+	// ReqProb is the per-tick probability that one randomly chosen
+	// agent issues a request (skipped if it is already waiting); 0
+	// means the default 1/3.
+	ReqProb float64
+}
+
+// Validate checks the configuration without running it; Run panics on
+// exactly these errors.
+func (cfg Config) Validate() error {
+	if cfg.Protocol < FP || cfg.Protocol > AAP2 {
+		return fmt.Errorf("cyclesim: unknown protocol kind %d", int(cfg.Protocol))
+	}
+	if cfg.N < 2 {
+		return fmt.Errorf("cyclesim: need at least 2 agents, got %d", cfg.N)
+	}
+	if cfg.Horizon <= 0 {
+		return fmt.Errorf("cyclesim: positive Horizon (ticks) required, got %v", cfg.Horizon)
+	}
+	if cfg.ReqProb < 0 || cfg.ReqProb > 1 {
+		return fmt.Errorf("cyclesim: ReqProb %v out of [0,1]", cfg.ReqProb)
+	}
+	return nil
+}
+
+// RunResult reports a cycle-level run's measurements.
+type RunResult struct {
+	Protocol Kind
+	N        int
+	// Ticks is the number of ticks simulated.
+	Ticks int64
+	// Grants holds every bus mastership, in order.
+	Grants []Grant
+	// BusyTicks counts ticks the bus spent transferring.
+	BusyTicks int64
+	// Arbitrations, EmptyPasses, and SettleRounds mirror the Bus
+	// counters: passes run, RR3 empty passes, wired-OR settle rounds.
+	Arbitrations int64
+	EmptyPasses  int64
+	SettleRounds int64
+}
+
+// Summary implements the cross-simulator Report surface.
+func (r *RunResult) Summary() obs.Summary {
+	util := 0.0
+	if r.Ticks > 0 {
+		util = float64(r.BusyTicks) / float64(r.Ticks)
+	}
+	return obs.Summary{
+		Simulator:   "cyclesim",
+		Protocol:    r.Protocol.String(),
+		N:           r.N,
+		Time:        float64(r.Ticks),
+		Grants:      int64(len(r.Grants)),
+		Utilization: util,
+	}
+}
+
+// Run executes the cycle-level simulation described by cfg.
+func Run(cfg Config) *RunResult {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := cfg.ReqProb
+	if p == 0 {
+		p = 1.0 / 3
+	}
+	bus := New(cfg.Protocol, cfg.N)
+	bus.Observer = cfg.Observer
+	src := rng.New(cfg.Seed)
+	ticks := int64(cfg.Horizon)
+	for tick := int64(0); tick < ticks; tick++ {
+		if src.Float64() < p {
+			id := 1 + src.Intn(cfg.N)
+			if !bus.Waiting(id) {
+				bus.Request(id)
+			}
+		}
+		bus.Step()
+	}
+	res := &RunResult{
+		Protocol:     cfg.Protocol,
+		N:            cfg.N,
+		Ticks:        ticks,
+		Grants:       bus.Grants(),
+		Arbitrations: bus.Arbitrations,
+		EmptyPasses:  bus.EmptyPasses,
+		SettleRounds: bus.SettleRounds,
+	}
+	for _, g := range res.Grants {
+		// A transfer occupies two ticks; the horizon may cut the last
+		// one short.
+		busy := int64(2)
+		if left := ticks - g.StartTick; left < busy {
+			busy = left
+		}
+		res.BusyTicks += busy
+	}
+	return res
+}

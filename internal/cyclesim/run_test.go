@@ -1,0 +1,113 @@
+package cyclesim
+
+import (
+	"strings"
+	"testing"
+
+	"busarb/internal/core"
+	"busarb/internal/obs"
+)
+
+func TestKindByName(t *testing.T) {
+	for _, name := range KindNames() {
+		k, err := KindByName(name)
+		if err != nil {
+			t.Fatalf("KindByName(%q): %v", name, err)
+		}
+		if k.String() != name {
+			t.Errorf("KindByName(%q) = %v", name, k)
+		}
+	}
+	_, err := KindByName("Hybrid")
+	if err == nil {
+		t.Fatal("KindByName(Hybrid) succeeded; Hybrid has no line-level model")
+	}
+	for _, name := range KindNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not enumerate %q", err, name)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Protocol: RR2, N: 6, Seed: 42, Horizon: 500}
+	a := Run(cfg)
+	b := Run(cfg)
+	if len(a.Grants) != len(b.Grants) || a.Arbitrations != b.Arbitrations ||
+		a.BusyTicks != b.BusyTicks {
+		t.Fatalf("same seed, different runs: %+v vs %+v", a, b)
+	}
+	for i := range a.Grants {
+		if a.Grants[i] != b.Grants[i] {
+			t.Fatalf("grant %d differs: %+v vs %+v", i, a.Grants[i], b.Grants[i])
+		}
+	}
+	s := a.Summary()
+	if s.Simulator != "cyclesim" || s.Protocol != "RR2" || s.N != 6 ||
+		s.Grants != int64(len(a.Grants)) {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Utilization <= 0 || s.Utilization > 1 {
+		t.Errorf("utilization = %v", s.Utilization)
+	}
+}
+
+func TestRunObserverSeesGrants(t *testing.T) {
+	var buf obs.Buffer
+	cfg := Config{Protocol: RR1, N: 4, Seed: 7, Horizon: 200, Observer: &buf}
+	res := Run(cfg)
+	starts := 0
+	for _, e := range buf.Events() {
+		if e.Kind == obs.ServiceStart {
+			starts++
+		}
+	}
+	if starts != len(res.Grants) {
+		t.Errorf("%d ServiceStart events, %d grants", starts, len(res.Grants))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Protocol: Kind(99), N: 4, Horizon: 100},
+		{Protocol: RR1, N: 1, Horizon: 100},
+		{Protocol: RR1, N: 4, Horizon: 0},
+		{Protocol: RR1, N: 4, Horizon: 100, ReqProb: 1.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated: %+v", i, cfg)
+		}
+	}
+	good := Config{Protocol: RR1, N: 4, Horizon: 100}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestCrossCheckRR2(t *testing.T) {
+	if err := CrossCheck(RR2, func(n int) core.Protocol { return core.NewRR2(n) },
+		6, 10, 300, 99); err != nil {
+		t.Fatalf("line-level RR2 diverges from abstract RR2: %v", err)
+	}
+}
+
+func TestCrossCheckDetectsMismatch(t *testing.T) {
+	// Deliberately pair the RR1 hardware with the FP abstract protocol:
+	// they must diverge, proving the checker can fail.
+	err := CrossCheck(RR1, func(n int) core.Protocol { return core.NewFixedPriority(n) },
+		6, 10, 300, 99)
+	if err == nil {
+		t.Fatal("CrossCheck(RR1 lines vs FP abstract) reported a match")
+	}
+}
+
+func TestCrossCheckRejectsBadArgs(t *testing.T) {
+	f := func(n int) core.Protocol { return core.NewRR1(n) }
+	if err := CrossCheck(RR1, f, 1, 5, 100, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if err := CrossCheck(RR1, f, 4, 0, 100, 1); err == nil {
+		t.Error("trials=0 accepted")
+	}
+}

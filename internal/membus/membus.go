@@ -24,6 +24,7 @@ import (
 
 	"busarb/internal/core"
 	"busarb/internal/dist"
+	"busarb/internal/obs"
 	"busarb/internal/rng"
 	"busarb/internal/sim"
 	"busarb/internal/stats"
@@ -74,12 +75,45 @@ type Config struct {
 	Seed      uint64
 	Batches   int
 	BatchSize int
+	// Observer, if non-nil, receives the simulation's event stream,
+	// including BankConflict whenever a transfer finds its bank still
+	// busy with an earlier access.
+	Observer obs.Probe
+	// Horizon, when positive, ends the run once the simulated clock
+	// reaches it, even if the completion target has not been met. Zero
+	// means run to the completion target.
+	Horizon float64
+}
+
+// Validate checks the configuration without running it; Run panics on
+// exactly these errors.
+func (cfg Config) Validate() error {
+	if cfg.N < 2 {
+		return fmt.Errorf("membus: need at least two processors, got %d", cfg.N)
+	}
+	if cfg.Banks < 1 {
+		return fmt.Errorf("membus: need at least one bank, got %d", cfg.Banks)
+	}
+	if cfg.Protocol == nil {
+		return fmt.Errorf("membus: Protocol factory is required")
+	}
+	if len(cfg.Inter) != cfg.N {
+		return fmt.Errorf("membus: len(Inter)=%d, want %d", len(cfg.Inter), cfg.N)
+	}
+	if cfg.AddrTime < 0 || cfg.MemTime < 0 || cfg.DataTime < 0 {
+		return fmt.Errorf("membus: phase times must be positive")
+	}
+	if cfg.Horizon < 0 {
+		return fmt.Errorf("membus: negative Horizon %v", cfg.Horizon)
+	}
+	return nil
 }
 
 // Result reports the run's measurements.
 type Result struct {
 	Mode        Mode
 	Protocol    string
+	N           int
 	Completions int64
 	Elapsed     float64
 	// Latency is the batch-means estimate of the full transfer latency:
@@ -93,6 +127,18 @@ type Result struct {
 	BankUtilization stats.Estimate
 	// RespArbitrations counts the split-mode response tenures.
 	RespArbitrations int64
+}
+
+// Summary implements the cross-simulator Report surface.
+func (r *Result) Summary() obs.Summary {
+	return obs.Summary{
+		Simulator:   "membus",
+		Protocol:    r.Protocol,
+		N:           r.N,
+		Time:        r.Elapsed,
+		Grants:      r.Completions + r.RespArbitrations,
+		Utilization: r.BusUtilization.Mean,
+	}
 }
 
 type pendingResp struct {
@@ -143,17 +189,8 @@ type machine struct {
 
 // Run executes the simulation.
 func Run(cfg Config) *Result {
-	if cfg.N < 2 {
-		panic("membus: need at least two processors")
-	}
-	if cfg.Banks < 1 {
-		panic("membus: need at least one bank")
-	}
-	if cfg.Protocol == nil {
-		panic("membus: protocol required")
-	}
-	if len(cfg.Inter) != cfg.N {
-		panic(fmt.Sprintf("membus: len(Inter)=%d, want %d", len(cfg.Inter), cfg.N))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.AddrTime == 0 {
 		cfg.AddrTime = 0.25
@@ -189,7 +226,7 @@ func Run(cfg Config) *Result {
 		target:     int64(cfg.Batches) * int64(cfg.BatchSize),
 		batchSize:  int64(cfg.BatchSize),
 		warmupLeft: int64(cfg.BatchSize),
-		res:        &Result{Mode: cfg.Mode},
+		res:        &Result{Mode: cfg.Mode, N: cfg.N},
 	}
 	m.res.Protocol = m.proto.Name()
 	master := rng.New(cfg.Seed)
@@ -198,9 +235,19 @@ func Run(cfg Config) *Result {
 		m.scheduleThink(id)
 	}
 	m.srcs[m.memID] = master.Split()
+	if cfg.Horizon > 0 {
+		m.sched.At(cfg.Horizon, func() { m.done = true })
+	}
 	m.sched.Run(func() bool { return m.done })
 	m.finish()
 	return m.res
+}
+
+// emit forwards an event to the configured observer, if any.
+func (m *machine) emit(e obs.Event) {
+	if m.cfg.Observer != nil {
+		m.cfg.Observer.OnEvent(e)
+	}
 }
 
 func (m *machine) scheduleThink(id int) {
@@ -212,6 +259,7 @@ func (m *machine) generate(id int) {
 	m.waiting[id] = true
 	m.genTime[id] = m.sched.Now()
 	m.proto.OnRequest(id, m.sched.Now())
+	m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.RequestIssued, Agent: id})
 	m.maybeArbitrate()
 }
 
@@ -224,6 +272,11 @@ func (m *machine) maybeArbitrate() {
 	}
 	m.arbitrating = true
 	snapshot := m.waitingIDs()
+	if m.cfg.Observer != nil {
+		// Copy: resolve still reads snapshot after the probe sees it.
+		m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.ArbitrationStart,
+			Agents: append([]int(nil), snapshot...)})
+	}
 	// Arbitration overhead: half an address cycle, overlapped with any
 	// current tenure (the §4.1 structure scaled to this bus).
 	m.sched.After(m.cfg.AddrTime/2, func() { m.resolve(snapshot) })
@@ -251,11 +304,13 @@ func (m *machine) waitingIDs() []int {
 func (m *machine) resolve(snapshot []int) {
 	out := m.proto.Arbitrate(snapshot)
 	if out.Repass {
+		m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.Repass})
 		fresh := m.waitingIDs()
 		m.sched.After(m.cfg.AddrTime/2, func() { m.resolve(fresh) })
 		return
 	}
 	m.arbitrating = false
+	m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.ArbitrationResolve, Agent: out.Winner})
 	if m.busBusy {
 		m.pendingWin = out.Winner
 	} else {
@@ -269,8 +324,10 @@ func (m *machine) grant(id int) {
 	m.busBusy = true
 	m.proto.OnServiceStart(id, m.sched.Now())
 	if id == m.memID {
+		m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.ServiceStart, Agent: id, Label: "response"})
 		m.startResponse()
 	} else {
+		m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.ServiceStart, Agent: id})
 		m.startRequest(id)
 	}
 	// Overlap the next arbitration with this tenure.
@@ -287,6 +344,7 @@ func (m *machine) startRequest(id int) {
 		start := now + m.cfg.AddrTime
 		if m.bankFreeAt[bank] > start {
 			start = m.bankFreeAt[bank]
+			m.emit(obs.Event{Time: now, Kind: obs.BankConflict, Agent: id, Aux: int64(bank)})
 		}
 		doneMem := start + m.cfg.MemTime
 		m.bankBusyAcc += m.cfg.MemTime
@@ -295,6 +353,7 @@ func (m *machine) startRequest(id int) {
 		m.busBusyAcc += end - now
 		m.sched.At(end, func() {
 			m.busBusy = false
+			m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.ServiceEnd, Agent: id})
 			m.complete(id, m.genTime[id])
 			m.scheduleThink(id)
 			m.afterTenure()
@@ -307,9 +366,11 @@ func (m *machine) startRequest(id int) {
 		gen := m.genTime[id]
 		m.sched.At(end, func() {
 			m.busBusy = false
+			m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.ServiceEnd, Agent: id})
 			start := m.sched.Now()
 			if m.bankFreeAt[bank] > start {
 				start = m.bankFreeAt[bank]
+				m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.BankConflict, Agent: id, Aux: int64(bank)})
 			}
 			ready := start + m.cfg.MemTime
 			m.bankBusyAcc += m.cfg.MemTime
@@ -328,6 +389,7 @@ func (m *machine) responseReady() {
 	if !m.waiting[m.memID] {
 		m.waiting[m.memID] = true
 		m.proto.OnRequest(m.memID, m.sched.Now())
+		m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.RequestIssued, Agent: m.memID})
 		m.maybeArbitrate()
 	}
 }
@@ -357,12 +419,15 @@ func (m *machine) startResponse() {
 	m.busBusyAcc += m.cfg.DataTime
 	m.sched.At(end, func() {
 		m.busBusy = false
+		m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.ServiceEnd, Agent: m.memID,
+			Aux: int64(resp.proc), Label: "response"})
 		m.complete(resp.proc, resp.genTime)
 		m.scheduleThink(resp.proc)
 		// More ready responses: re-assert immediately.
 		if m.respReady > 0 {
 			m.waiting[m.memID] = true
 			m.proto.OnRequest(m.memID, m.sched.Now())
+			m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.RequestIssued, Agent: m.memID})
 		}
 		m.afterTenure()
 	})

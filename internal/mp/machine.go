@@ -5,6 +5,7 @@ import (
 
 	"busarb/internal/bussim"
 	"busarb/internal/core"
+	"busarb/internal/obs"
 	"busarb/internal/rng"
 )
 
@@ -70,6 +71,51 @@ type MachineConfig struct {
 	Seed       uint64
 	Batches    int
 	BatchSize  int
+	// Observer, if non-nil, receives the underlying bus's event stream
+	// plus one CacheMiss event per processor cache miss (emitted at the
+	// time the miss's fill request reaches the bus).
+	Observer obs.Probe
+	// Horizon, when positive, ends the run once the simulated clock
+	// reaches it, forwarded to the underlying bussim run.
+	Horizon float64
+}
+
+// Validate checks the configuration without running it; Run panics on
+// exactly these errors.
+func (cfg MachineConfig) Validate() error {
+	if len(cfg.Processors) < 2 {
+		return fmt.Errorf("mp: need at least two processors, got %d", len(cfg.Processors))
+	}
+	for i, p := range cfg.Processors {
+		if p.Cache == nil || p.Pattern == nil || p.CyclePerRef <= 0 {
+			return fmt.Errorf("mp: processor %d incompletely configured", i+1)
+		}
+	}
+	if cfg.Protocol == nil {
+		return fmt.Errorf("mp: Protocol factory is required")
+	}
+	if cfg.Horizon < 0 {
+		return fmt.Errorf("mp: negative Horizon %v", cfg.Horizon)
+	}
+	return nil
+}
+
+// missProbe forwards the bus event stream and inserts a CacheMiss
+// event for each request that is a miss fill (write-backs precede
+// their fill, so gating on fillPending yields exactly one CacheMiss
+// per processor cache miss).
+type missProbe struct {
+	next  obs.Probe
+	procs []*Processor
+}
+
+func (m *missProbe) OnEvent(e obs.Event) {
+	m.next.OnEvent(e)
+	if e.Kind == obs.RequestIssued && e.Agent >= 1 && e.Agent <= len(m.procs) {
+		if !m.procs[e.Agent-1].fillPending {
+			m.next.OnEvent(obs.Event{Time: e.Time, Kind: obs.CacheMiss, Agent: e.Agent})
+		}
+	}
 }
 
 // MachineResult couples the bus-level measurements with per-processor
@@ -80,6 +126,13 @@ type MachineResult struct {
 	Progress []float64
 	// MissRate[i] is processor i+1's cache miss ratio.
 	MissRate []float64
+}
+
+// Summary implements the cross-simulator Report surface.
+func (r *MachineResult) Summary() obs.Summary {
+	s := r.Bus.Summary()
+	s.Simulator = "mp"
+	return s
 }
 
 // SlowestRelative returns the slowest processor's progress relative to
@@ -105,17 +158,18 @@ func (r *MachineResult) SlowestRelative() float64 {
 
 // Run simulates the machine.
 func Run(cfg MachineConfig) *MachineResult {
-	n := len(cfg.Processors)
-	if n < 2 {
-		panic("mp: need at least two processors")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
+	n := len(cfg.Processors)
 	sources := make([]bussim.ThinkSource, n)
 	for i, p := range cfg.Processors {
-		if p.Cache == nil || p.Pattern == nil || p.CyclePerRef <= 0 {
-			panic(fmt.Sprintf("mp: processor %d incompletely configured", i+1))
-		}
 		p.ID = i + 1
 		sources[i] = p
+	}
+	observer := cfg.Observer
+	if observer != nil {
+		observer = &missProbe{next: observer, procs: cfg.Processors}
 	}
 	bres := bussim.Run(bussim.Config{
 		N:         n,
@@ -124,6 +178,8 @@ func Run(cfg MachineConfig) *MachineResult {
 		Seed:      cfg.Seed,
 		Batches:   cfg.Batches,
 		BatchSize: cfg.BatchSize,
+		Observer:  observer,
+		Horizon:   cfg.Horizon,
 	})
 	res := &MachineResult{
 		Bus:      bres,

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONLWriter is a Probe that streams events as JSON Lines: one JSON
+// object per event, one event per line. The schema is stable and
+// byte-deterministic for a fixed-seed run (golden-trace tests rely on
+// this):
+//
+//	{"t":<time>,"ev":"<kind>"}                      always present
+//	"agent":<id>                                    acting agent (omitted when 0)
+//	"agents":[<id>,...]                             arb-start competitor snapshot
+//	"urgent":true                                   priority-class request
+//	"aux":<n>                                       block / bank detail
+//	"label":"<text>"                                e.g. snoop transaction kind
+//
+// Field order is fixed (t, ev, agent, agents, urgent, aux, label) and
+// zero-valued optional fields are omitted.
+type JSONLWriter struct {
+	W io.Writer
+	// Err holds the first write or encode error; subsequent events are
+	// dropped.
+	Err error
+}
+
+// jsonEvent fixes the trace schema; keep field order in sync with the
+// JSONLWriter doc comment.
+type jsonEvent struct {
+	T      float64 `json:"t"`
+	Ev     string  `json:"ev"`
+	Agent  int     `json:"agent,omitempty"`
+	Agents []int   `json:"agents,omitempty"`
+	Urgent bool    `json:"urgent,omitempty"`
+	Aux    int64   `json:"aux,omitempty"`
+	Label  string  `json:"label,omitempty"`
+}
+
+// OnEvent implements Probe.
+func (w *JSONLWriter) OnEvent(e Event) {
+	if w.Err != nil {
+		return
+	}
+	line, err := json.Marshal(jsonEvent{
+		T: e.Time, Ev: e.Kind.String(), Agent: e.Agent,
+		Agents: e.Agents, Urgent: e.Urgent, Aux: e.Aux, Label: e.Label,
+	})
+	if err != nil {
+		w.Err = err
+		return
+	}
+	line = append(line, '\n')
+	_, w.Err = w.W.Write(line)
+}
+
+// ReadJSONL decodes a JSONL trace back into events, inverting
+// JSONLWriter (for tools and tests that post-process traces).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	kinds := map[string]Kind{}
+	for k := RequestIssued; k <= BankConflict; k++ {
+		kinds[k.String()] = k
+	}
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var je jsonEvent
+		if err := dec.Decode(&je); err != nil {
+			return out, err
+		}
+		k, ok := kinds[je.Ev]
+		if !ok {
+			continue // unknown kinds are skipped, for forward compatibility
+		}
+		out = append(out, Event{
+			Time: je.T, Kind: k, Agent: je.Agent, Agents: je.Agents,
+			Urgent: je.Urgent, Aux: je.Aux, Label: je.Label,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// AgentWindow is one agent's activity within one metrics window.
+type AgentWindow struct {
+	// Requests counts requests the agent issued in the window.
+	Requests int64
+	// Grants counts bus tenures the agent started in the window.
+	Grants int64
+	// Completions counts tenures that finished in the window.
+	Completions int64
+	// Busy is the bus time the agent's completed tenures consumed,
+	// attributed to the window each tenure ended in.
+	Busy float64
+	// WaitMean, WaitP50, WaitP90, WaitMax summarize the residence
+	// times (request issue to service end) of the window's completions.
+	WaitMean float64
+	WaitP50  float64
+	WaitP90  float64
+	WaitMax  float64
+}
+
+// Window is one time slice of the windowed metrics.
+type Window struct {
+	// Start and End bound the window: [Start, End).
+	Start, End float64
+	// Arbitrations and Repasses count resolutions and empty passes.
+	Arbitrations int64
+	Repasses     int64
+	// Agents holds per-agent activity, indexed by identity-1.
+	Agents []AgentWindow
+}
+
+// Utilization returns agent id's bus utilization over the window.
+func (w *Window) Utilization(id int) float64 {
+	if w.End <= w.Start {
+		return 0
+	}
+	return w.Agents[id-1].Busy / (w.End - w.Start)
+}
+
+// Metrics is a Probe that aggregates the event stream into fixed-width
+// time windows of per-agent activity: utilization, waiting-time
+// quantiles, arbitration counts. It answers the questions the
+// aggregate Result structs cannot — how waiting time and bandwidth
+// share evolve over a run, per agent.
+//
+// Windows are [k*Width, (k+1)*Width). A tenure's busy time and
+// residence time are attributed to the window its ServiceEnd falls in.
+// Call Flush when the run ends to close the final partial window.
+type Metrics struct {
+	// Width is the window length in simulator time units.
+	Width float64
+
+	n      int // highest agent identity seen
+	closed []Window
+
+	// Current-window accumulation.
+	curIdx   int64 // index of the window being accumulated
+	started  bool
+	cur      Window
+	curWaits [][]float64 // per-agent residence samples this window
+
+	// Cross-window request/service state.
+	issueQ     [][]float64 // per-agent FIFO of request-issue times
+	startTimes []float64   // per-agent current tenure start
+}
+
+// NewMetrics returns a collector with the given window width.
+func NewMetrics(width float64) *Metrics {
+	if width <= 0 {
+		panic(fmt.Sprintf("obs: metrics window width %v must be positive", width))
+	}
+	return &Metrics{Width: width}
+}
+
+// grow ensures per-agent state exists for identity id.
+func (m *Metrics) grow(id int) {
+	if id <= m.n {
+		return
+	}
+	m.n = id
+	for len(m.issueQ) < id {
+		m.issueQ = append(m.issueQ, nil)
+		m.startTimes = append(m.startTimes, 0)
+	}
+	for len(m.cur.Agents) < id {
+		m.cur.Agents = append(m.cur.Agents, AgentWindow{})
+		m.curWaits = append(m.curWaits, nil)
+	}
+}
+
+// rollTo closes windows until the one containing time t is current.
+func (m *Metrics) rollTo(t float64) {
+	idx := int64(t / m.Width)
+	if !m.started {
+		m.started = true
+		m.curIdx = idx
+		m.cur.Start = float64(idx) * m.Width
+		m.cur.End = m.cur.Start + m.Width
+		return
+	}
+	for m.curIdx < idx {
+		m.closeCurrent(m.cur.Start + m.Width)
+		m.curIdx++
+		m.cur.Start = float64(m.curIdx) * m.Width
+		m.cur.End = m.cur.Start + m.Width
+	}
+}
+
+// closeCurrent finalizes the current window at end time end.
+func (m *Metrics) closeCurrent(end float64) {
+	m.cur.End = end
+	for i := range m.cur.Agents {
+		a := &m.cur.Agents[i]
+		waits := m.curWaits[i]
+		if len(waits) > 0 {
+			sort.Float64s(waits)
+			sum := 0.0
+			for _, w := range waits {
+				sum += w
+			}
+			a.WaitMean = sum / float64(len(waits))
+			a.WaitP50 = quantile(waits, 0.50)
+			a.WaitP90 = quantile(waits, 0.90)
+			a.WaitMax = waits[len(waits)-1]
+		}
+		m.curWaits[i] = waits[:0]
+	}
+	// Deep-copy the agent slice: cur.Agents is reused for the next
+	// window.
+	out := m.cur
+	out.Agents = append([]AgentWindow(nil), m.cur.Agents...)
+	m.closed = append(m.closed, out)
+	m.cur.Arbitrations = 0
+	m.cur.Repasses = 0
+	for i := range m.cur.Agents {
+		m.cur.Agents[i] = AgentWindow{}
+	}
+}
+
+// quantile returns the q-quantile of sorted samples (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// OnEvent implements Probe.
+func (m *Metrics) OnEvent(e Event) {
+	if e.Agent > 0 {
+		m.grow(e.Agent)
+	}
+	m.rollTo(e.Time)
+	switch e.Kind {
+	case RequestIssued:
+		m.issueQ[e.Agent-1] = append(m.issueQ[e.Agent-1], e.Time)
+		m.cur.Agents[e.Agent-1].Requests++
+	case ArbitrationResolve:
+		m.cur.Arbitrations++
+	case Repass:
+		m.cur.Repasses++
+	case ServiceStart:
+		m.startTimes[e.Agent-1] = e.Time
+		m.cur.Agents[e.Agent-1].Grants++
+	case ServiceEnd:
+		i := e.Agent - 1
+		a := &m.cur.Agents[i]
+		a.Completions++
+		a.Busy += e.Time - m.startTimes[i]
+		if q := m.issueQ[i]; len(q) > 0 {
+			// Requests are served oldest-first (FIFO per agent, the
+			// simulators' discipline), so the completing tenure belongs
+			// to the head of the issue queue.
+			m.curWaits[i] = append(m.curWaits[i], e.Time-q[0])
+			copy(q, q[1:])
+			m.issueQ[i] = q[:len(q)-1]
+		}
+	}
+}
+
+// Flush closes the final partial window at time end (use the run's
+// simulated end time; any earlier value is clamped to the last event).
+func (m *Metrics) Flush(end float64) {
+	if !m.started {
+		return
+	}
+	if end < m.cur.Start {
+		end = m.cur.Start
+	}
+	if end > m.cur.Start+m.Width {
+		// Roll empty windows up to the one containing end, then close.
+		m.rollTo(end)
+	}
+	m.closeCurrent(end)
+	m.started = false
+}
+
+// Windows returns the closed windows accumulated so far.
+func (m *Metrics) Windows() []Window { return m.closed }
+
+// WriteTable renders the windowed metrics as a per-window, per-agent
+// text table (the arbsim -metrics-window output).
+func (m *Metrics) WriteTable(w io.Writer) error {
+	for _, win := range m.closed {
+		var reqs int64
+		for _, a := range win.Agents {
+			reqs += a.Requests
+		}
+		if _, err := fmt.Fprintf(w, "window [%.4g,%.4g): %d requests, %d arbitrations, %d repasses\n",
+			win.Start, win.End, reqs, win.Arbitrations, win.Repasses); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %5s %8s %8s %8s %8s %8s %8s %8s\n",
+			"agent", "reqs", "grants", "util", "Wmean", "Wp50", "Wp90", "Wmax"); err != nil {
+			return err
+		}
+		for id := 1; id <= len(win.Agents); id++ {
+			a := win.Agents[id-1]
+			if a.Requests == 0 && a.Grants == 0 && a.Completions == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  %5d %8d %8d %8.3f %8.2f %8.2f %8.2f %8.2f\n",
+				id, a.Requests, a.Grants, win.Utilization(id),
+				a.WaitMean, a.WaitP50, a.WaitP90, a.WaitMax); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

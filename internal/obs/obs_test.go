@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		RequestIssued: "request", ArbitrationStart: "arb-start",
+		ArbitrationResolve: "arb-resolve", Repass: "arb-repass",
+		ServiceStart: "service-start", ServiceEnd: "service-end",
+		CacheMiss: "cache-miss", Invalidation: "invalidation",
+		BankConflict: "bank-conflict",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	var a, b Buffer
+	m := Multi{&a, &b}
+	m.OnEvent(Event{Time: 1, Kind: RequestIssued, Agent: 3})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("lens = %d, %d, want 1, 1", a.Len(), b.Len())
+	}
+}
+
+func TestFilterSelectsKinds(t *testing.T) {
+	var buf Buffer
+	f := Filter{Next: &buf, Kinds: map[Kind]bool{ServiceStart: true}}
+	f.OnEvent(Event{Kind: RequestIssued, Agent: 1})
+	f.OnEvent(Event{Kind: ServiceStart, Agent: 1})
+	f.OnEvent(Event{Kind: ServiceEnd, Agent: 1})
+	if buf.Len() != 1 || buf.Events()[0].Kind != ServiceStart {
+		t.Fatalf("filtered buffer = %v", buf.Events())
+	}
+}
+
+func TestBufferCap(t *testing.T) {
+	buf := Buffer{Cap: 3}
+	for i := 0; i < 10; i++ {
+		buf.OnEvent(Event{Time: float64(i), Kind: RequestIssued, Agent: 1})
+	}
+	evs := buf.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3 (capped)", len(evs))
+	}
+	if evs[0].Time != 7 || evs[2].Time != 9 {
+		t.Errorf("ring kept %v, want the newest three", evs)
+	}
+	buf.Reset()
+	if buf.Len() != 0 {
+		t.Errorf("Len after Reset = %d", buf.Len())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.OnEvent(Event{Kind: RequestIssued})
+	c.OnEvent(Event{Kind: RequestIssued})
+	c.OnEvent(Event{Kind: ServiceEnd})
+	if c.Total != 3 || c.Count(RequestIssued) != 2 || c.Count(ServiceEnd) != 1 {
+		t.Errorf("counter = %+v", c)
+	}
+}
+
+func TestTextWriterRendersEvents(t *testing.T) {
+	var sb strings.Builder
+	w := TextWriter{W: &sb}
+	w.OnEvent(Event{Time: 1.5, Kind: ServiceStart, Agent: 2})
+	if w.Err != nil {
+		t.Fatal(w.Err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "service-start") || !strings.Contains(out, "2") {
+		t.Errorf("text output %q lacks kind or agent", out)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Time: 0.5, Kind: RequestIssued, Agent: 1, Urgent: true},
+		{Time: 1.0, Kind: ArbitrationStart, Agents: []int{1, 2}},
+		{Time: 1.5, Kind: ArbitrationResolve, Agent: 2},
+		{Time: 1.5, Kind: ServiceStart, Agent: 2, Aux: 7, Label: "BusRd"},
+		{Time: 2.5, Kind: ServiceEnd, Agent: 2},
+	}
+	var buf bytes.Buffer
+	w := JSONLWriter{W: &buf}
+	for _, e := range events {
+		w.OnEvent(e)
+	}
+	if w.Err != nil {
+		t.Fatal(w.Err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		w, g := events[i], got[i]
+		if w.Time != g.Time || w.Kind != g.Kind || w.Agent != g.Agent ||
+			w.Urgent != g.Urgent || w.Aux != g.Aux || w.Label != g.Label ||
+			len(w.Agents) != len(g.Agents) {
+			t.Errorf("event %d: got %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestReadJSONLSkipsUnknownKinds(t *testing.T) {
+	in := `{"t":1,"ev":"request","agent":1}
+{"t":2,"ev":"some-future-kind","agent":1}
+{"t":3,"ev":"service-end","agent":1}
+`
+	got, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d events, want 2 (unknown kind skipped)", len(got))
+	}
+}
+
+func TestMetricsWindows(t *testing.T) {
+	m := NewMetrics(10)
+	// Agent 1: request at 1, served 2..4; agent 2: request at 12, served
+	// 13..15. One arbitration each.
+	feed := []Event{
+		{Time: 1, Kind: RequestIssued, Agent: 1},
+		{Time: 1, Kind: ArbitrationStart, Agents: []int{1}},
+		{Time: 2, Kind: ArbitrationResolve, Agent: 1},
+		{Time: 2, Kind: ServiceStart, Agent: 1},
+		{Time: 4, Kind: ServiceEnd, Agent: 1},
+		{Time: 12, Kind: RequestIssued, Agent: 2},
+		{Time: 12.5, Kind: Repass},
+		{Time: 13, Kind: ArbitrationResolve, Agent: 2},
+		{Time: 13, Kind: ServiceStart, Agent: 2},
+		{Time: 15, Kind: ServiceEnd, Agent: 2},
+	}
+	for _, e := range feed {
+		m.OnEvent(e)
+	}
+	m.Flush(20)
+	wins := m.Windows()
+	if len(wins) != 2 {
+		t.Fatalf("%d windows, want 2", len(wins))
+	}
+	w0, w1 := wins[0], wins[1]
+	if w0.Start != 0 || w0.End != 10 || w1.Start != 10 || w1.End != 20 {
+		t.Fatalf("window bounds [%v,%v) [%v,%v)", w0.Start, w0.End, w1.Start, w1.End)
+	}
+	if w0.Arbitrations != 1 || w1.Arbitrations != 1 || w1.Repasses != 1 {
+		t.Errorf("arb counts: %d/%d repasses %d", w0.Arbitrations, w1.Arbitrations, w1.Repasses)
+	}
+	a1 := w0.Agents[0]
+	if a1.Requests != 1 || a1.Grants != 1 || a1.Completions != 1 {
+		t.Errorf("agent 1 window 0: %+v", a1)
+	}
+	// Residence: request at 1, end at 4 → 3. Busy: 2..4 → 2.
+	if math.Abs(a1.WaitMean-3) > 1e-9 || math.Abs(a1.Busy-2) > 1e-9 {
+		t.Errorf("agent 1 wait %v busy %v, want 3 and 2", a1.WaitMean, a1.Busy)
+	}
+	if u := w0.Utilization(1); math.Abs(u-0.2) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.2", u)
+	}
+	a2 := w1.Agents[1]
+	if a2.Requests != 1 || math.Abs(a2.WaitMean-3) > 1e-9 {
+		t.Errorf("agent 2 window 1: %+v", a2)
+	}
+	// The table renderer shouldn't error and should mention both windows.
+	var sb strings.Builder
+	if err := m.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "window [0,10)") {
+		t.Errorf("table output:\n%s", sb.String())
+	}
+}
+
+func TestMetricsQuantiles(t *testing.T) {
+	m := NewMetrics(1000)
+	// Ten completions with residence times 1..10.
+	for i := 1; i <= 10; i++ {
+		ti := float64(i)
+		m.OnEvent(Event{Time: 10 * ti, Kind: RequestIssued, Agent: 1})
+		m.OnEvent(Event{Time: 10*ti + ti - 0.5, Kind: ServiceStart, Agent: 1})
+		m.OnEvent(Event{Time: 10*ti + ti, Kind: ServiceEnd, Agent: 1})
+	}
+	m.Flush(200)
+	all := m.Windows()
+	var a *AgentWindow
+	for i := range all {
+		if all[i].Agents[0].Completions > 0 {
+			if a != nil {
+				t.Fatal("completions split across windows; widen the window")
+			}
+			a = &all[i].Agents[0]
+		}
+	}
+	if a == nil {
+		t.Fatal("no completions recorded")
+	}
+	if a.WaitP50 != 5 || a.WaitP90 != 9 || a.WaitMax != 10 {
+		t.Errorf("quantiles p50=%v p90=%v max=%v, want 5, 9, 10", a.WaitP50, a.WaitP90, a.WaitMax)
+	}
+}
+
+func TestNewMetricsPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMetrics(0) did not panic")
+		}
+	}()
+	NewMetrics(0)
+}

@@ -29,6 +29,29 @@ func TestSchedulerSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestSchedulerAtSteadyStateAllocs extends the steady-state guard to
+// the absolute-time entry point and the predicate-driven run loop, the
+// paths the Horizon cutoff and the observability layer lean on.
+func TestSchedulerAtSteadyStateAllocs(t *testing.T) {
+	var s Scheduler
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.At(float64(i), fn)
+	}
+	s.Run(func() bool { return false })
+
+	allocs := testing.AllocsPerRun(100, func() {
+		base := s.Now()
+		for i := 0; i < 64; i++ {
+			s.At(base+float64(i+1), fn)
+		}
+		s.Run(func() bool { return false })
+	})
+	if allocs != 0 {
+		t.Errorf("At+Run hot loop allocates %v times per 64-event cycle, want 0", allocs)
+	}
+}
+
 // TestSchedulerResetKeepsCapacity pins that Reset retains the grown
 // backing array (Run in bussim resets per batch; a fresh array each
 // batch would defeat the pooling).

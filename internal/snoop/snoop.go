@@ -18,6 +18,7 @@ import (
 
 	"busarb/internal/core"
 	"busarb/internal/mp"
+	"busarb/internal/obs"
 	"busarb/internal/rng"
 	"busarb/internal/sim"
 )
@@ -204,8 +205,18 @@ type Config struct {
 	BlockSize int // bytes (default 32)
 	Ways      int // associativity (default 2)
 	Seed      uint64
-	// Duration is the simulated time to run (bus-transaction units).
+	// Horizon is the simulated time to run (bus-transaction units).
+	Horizon float64
+	// Duration is the simulated time to run.
+	//
+	// Deprecated: use Horizon, the name shared by every simulator
+	// Config. Duration is honored only when Horizon is zero.
 	Duration float64
+	// Observer, if non-nil, receives the machine's event stream:
+	// request/arbitration/service events plus CacheMiss at each stalled
+	// reference, Invalidation per copy lost to another writer, and
+	// ServiceStart/ServiceEnd labeled with the transaction kind.
+	Observer obs.Probe
 	// Service and ArbOverhead default to the paper's 1.0 and 0.5. An
 	// upgrade (no data transfer) costs half a service time.
 	Service     float64
@@ -221,6 +232,8 @@ type Config struct {
 
 // Result reports machine-level measurements.
 type Result struct {
+	Protocol string
+	N        int
 	Time     float64
 	BusBusy  float64
 	Grants   int64
@@ -234,6 +247,18 @@ func (r *Result) Utilization() float64 {
 		return 0
 	}
 	return r.BusBusy / r.Time
+}
+
+// Summary implements the cross-simulator Report surface.
+func (r *Result) Summary() obs.Summary {
+	return obs.Summary{
+		Simulator:   "snoop",
+		Protocol:    r.Protocol,
+		N:           r.N,
+		Time:        r.Time,
+		Grants:      r.Grants,
+		Utilization: r.Utilization(),
+	}
 }
 
 type machine struct {
@@ -251,14 +276,38 @@ type machine struct {
 	res      *Result
 }
 
-// Run executes the machine for cfg.Duration simulated time units.
-func Run(cfg Config) *Result {
-	n := len(cfg.Procs)
-	if n < 2 {
-		panic("snoop: need at least two processors")
+// Validate checks the configuration without running it; Run panics on
+// exactly these errors.
+func (cfg Config) Validate() error {
+	if len(cfg.Procs) < 2 {
+		return fmt.Errorf("snoop: need at least two processors, got %d", len(cfg.Procs))
 	}
 	if cfg.Protocol == nil {
-		panic("snoop: protocol required")
+		return fmt.Errorf("snoop: Protocol factory is required")
+	}
+	for i, p := range cfg.Procs {
+		if p.Pattern == nil || p.CyclePerRef <= 0 {
+			return fmt.Errorf("snoop: processor %d incompletely configured", i+1)
+		}
+	}
+	if cfg.Horizon < 0 {
+		return fmt.Errorf("snoop: negative Horizon %v", cfg.Horizon)
+	}
+	if cfg.Horizon == 0 && cfg.Duration <= 0 {
+		return fmt.Errorf("snoop: positive Horizon required")
+	}
+	return nil
+}
+
+// Run executes the machine until the simulated clock reaches
+// cfg.Horizon (or the deprecated cfg.Duration).
+func Run(cfg Config) *Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := len(cfg.Procs)
+	if cfg.Horizon == 0 {
+		cfg.Horizon = cfg.Duration
 	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 4096
@@ -275,24 +324,20 @@ func Run(cfg Config) *Result {
 	if cfg.ArbOverhead == 0 {
 		cfg.ArbOverhead = 0.5
 	}
-	if cfg.Duration <= 0 {
-		panic("snoop: positive Duration required")
-	}
 	m := &machine{
 		cfg:      cfg,
 		proto:    cfg.Protocol(n),
 		procs:    make([]*Proc, n+1),
 		versions: make(map[uint64]uint64),
 		res: &Result{
+			N:        n,
 			ByKind:   make(map[TxKind]int64),
 			Progress: make([]float64, n),
 		},
 	}
+	m.res.Protocol = m.proto.Name()
 	master := rng.New(cfg.Seed)
 	for i, p := range cfg.Procs {
-		if p.Pattern == nil || p.CyclePerRef <= 0 {
-			panic(fmt.Sprintf("snoop: processor %d incompletely configured", i+1))
-		}
 		p.ID = i + 1
 		p.cache = newCache(cfg.CacheSize, cfg.BlockSize, cfg.Ways)
 		p.src = master.Split()
@@ -300,12 +345,19 @@ func Run(cfg Config) *Result {
 		m.procs[p.ID] = p
 		m.scheduleRef(p)
 	}
-	m.sched.RunUntil(cfg.Duration)
-	m.res.Time = cfg.Duration
+	m.sched.RunUntil(cfg.Horizon)
+	m.res.Time = cfg.Horizon
 	for i, p := range cfg.Procs {
-		m.res.Progress[i] = float64(p.Stats.Refs) / cfg.Duration
+		m.res.Progress[i] = float64(p.Stats.Refs) / cfg.Horizon
 	}
 	return m.res
+}
+
+// emit forwards an event to the configured observer, if any.
+func (m *machine) emit(e obs.Event) {
+	if m.cfg.Observer != nil {
+		m.cfg.Observer.OnEvent(e)
+	}
 }
 
 func (m *machine) scheduleRef(p *Proc) {
@@ -358,6 +410,7 @@ func (m *machine) executeRef(p *Proc) {
 	}
 	// Miss: maybe a write-back, then the fill.
 	p.Stats.Misses++
+	m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.CacheMiss, Agent: p.ID, Aux: int64(block)})
 	if p.invalidated[block] {
 		p.Stats.CoherenceMisses++
 		delete(p.invalidated, block)
@@ -383,6 +436,7 @@ func (m *machine) executeRef(p *Proc) {
 func (m *machine) request(p *Proc) {
 	m.waitingCount++
 	m.proto.OnRequest(p.ID, m.sched.Now())
+	m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.RequestIssued, Agent: p.ID})
 	if !m.arbitrating && m.pendingWin == 0 {
 		m.beginArbitration()
 	}
@@ -404,17 +458,24 @@ func (m *machine) beginArbitration() {
 	}
 	m.arbitrating = true
 	snapshot := m.waitingIDs()
+	if m.cfg.Observer != nil {
+		// Copy: resolve still reads snapshot after the probe sees it.
+		m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.ArbitrationStart,
+			Agents: append([]int(nil), snapshot...)})
+	}
 	m.sched.After(m.cfg.ArbOverhead, func() { m.resolve(snapshot) })
 }
 
 func (m *machine) resolve(snapshot []int) {
 	out := m.proto.Arbitrate(snapshot)
 	if out.Repass {
+		m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.Repass})
 		fresh := m.waitingIDs()
 		m.sched.After(m.cfg.ArbOverhead, func() { m.resolve(fresh) })
 		return
 	}
 	m.arbitrating = false
+	m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.ArbitrationResolve, Agent: out.Winner})
 	if m.busBusy {
 		m.pendingWin = out.Winner
 	} else {
@@ -436,6 +497,8 @@ func (m *machine) startTx(id int) {
 	// done; mid-chain it competes again immediately, but the protocol
 	// sees a service start per transaction.
 	m.proto.OnServiceStart(id, m.sched.Now())
+	m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.ServiceStart, Agent: id,
+		Aux: int64(t.block), Label: t.kind.String()})
 	m.waitingCount--
 	m.res.Grants++
 	m.res.ByKind[t.kind]++
@@ -448,12 +511,15 @@ func (m *machine) startTx(id int) {
 
 func (m *machine) completeTx(p *Proc, t tx) {
 	m.busBusy = false
+	m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.ServiceEnd, Agent: p.ID,
+		Aux: int64(t.block), Label: t.kind.String()})
 	m.commit(p, t)
 	p.pendingTx = p.pendingTx[1:]
 	if len(p.pendingTx) > 0 {
 		// Chain continues (write-back then fill): re-request.
 		m.waitingCount++
 		m.proto.OnRequest(p.ID, m.sched.Now())
+		m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.RequestIssued, Agent: p.ID})
 	} else {
 		// Reference finished; processor resumes computing.
 		m.scheduleRef(p)
@@ -496,6 +562,8 @@ func (m *machine) commit(p *Proc, t tx) {
 					ol.state = Invalid
 					o.Stats.InvalidationsRecv++
 					o.invalidated[t.block] = true
+					m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.Invalidation,
+						Agent: id, Aux: int64(t.block)})
 				} else if ol.state == Modified || ol.state == Exclusive {
 					ol.state = Shared
 				}
@@ -530,6 +598,8 @@ func (m *machine) commit(p *Proc, t tx) {
 				o.cache.lines[o.cache.set(t.block)][w].state = Invalid
 				o.Stats.InvalidationsRecv++
 				o.invalidated[t.block] = true
+				m.emit(obs.Event{Time: m.sched.Now(), Kind: obs.Invalidation,
+					Agent: id, Aux: int64(t.block)})
 			}
 		}
 		w := c.lookup(t.block)
