@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check fuzz paper examples trace-demo clean
+.PHONY: all build vet lint test race bench bench-json check fuzz paper examples trace-demo clean
 
 all: build vet test
 
@@ -12,6 +12,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# The repository's own analyzers (internal/analysis, driven by
+# cmd/arblint): determinism, nilprobe, validatecall, seedsrc. They
+# mechanically enforce the invariants every reproduced table rests on;
+# see docs/ARCHITECTURE.md ("Static analysis").
+lint:
+	$(GO) run ./cmd/arblint ./...
 
 # The worker pool in internal/experiment always runs under the race
 # detector, even in the quick tier: it is the only concurrency in the
@@ -26,7 +33,7 @@ race:
 # The full gate: what CI (and a careful PR author) runs. gofmt -l
 # prints nothing when the tree is clean; grep flips that into an exit
 # status.
-check: vet build race
+check: vet build lint race
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed:"; echo "$$fmt_out"; exit 1; fi
 
 # Regenerate the sample event trace committed under docs/: a small
@@ -45,9 +52,14 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
 
+# FUZZTIME is overridable so CI can run a quick smoke
+# (`make fuzz FUZZTIME=10s`) while local runs default to 30s per target.
+FUZZTIME ?= 30s
+
 fuzz:
-	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/scenario/
-	$(GO) test -fuzz=FuzzSettleFindsMax -fuzztime=30s ./internal/contention/
+	$(GO) test -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/scenario/
+	$(GO) test -fuzz=FuzzSettleFindsMax -fuzztime=$(FUZZTIME) ./internal/contention/
+	$(GO) test -fuzz=FuzzReadJSONL -fuzztime=$(FUZZTIME) ./internal/obs/
 
 # Full-effort reproduction of the paper's evaluation section.
 paper:

@@ -1,0 +1,127 @@
+// Command arblint is the repository's static-analysis gate: a
+// multichecker that runs the internal/analysis suite — determinism,
+// nilprobe, validatecall, seedsrc — over the module and exits nonzero
+// on any finding. `make lint` (and therefore `make check` and CI) runs
+// it as `go run ./cmd/arblint ./...`.
+//
+// Usage:
+//
+//	arblint [-list] [packages]
+//
+// With no arguments (or `./...`) every package of the enclosing module
+// is checked. Other arguments select packages by directory
+// (./internal/bussim) or by import-path suffix (internal/bussim).
+// Diagnostics print as file:line:col: message (analyzer). A finding can
+// be suppressed — one diagnostic per comment — with
+//
+//	//arblint:allow <analyzer>
+//
+// on the offending line or the line above; unused allow comments are
+// themselves diagnostics. See docs/ARCHITECTURE.md ("Static analysis").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"busarb/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	prog, err := analysis.LoadModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arblint:", err)
+		os.Exit(2)
+	}
+
+	pkgs := prog.Packages()
+	if args := flag.Args(); len(args) > 0 && !containsAll(args) {
+		var selected []*analysis.Package
+		for _, pkg := range pkgs {
+			if matchesAny(pkg, args) {
+				selected = append(selected, pkg)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "arblint: no packages match %v\n", args)
+			os.Exit(2)
+		}
+		pkgs = selected
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, a := range analysis.Analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arblint:", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Println(d)
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "arblint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// containsAll reports whether the argument list asks for the whole
+// module (./... or the module path itself).
+func containsAll(args []string) bool {
+	for _, a := range args {
+		if a == "./..." || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// matchesAny matches a package against directory or import-path
+// arguments, including go-style /... suffix wildcards.
+func matchesAny(pkg *analysis.Package, args []string) bool {
+	for _, arg := range args {
+		pattern := strings.TrimSuffix(filepath.ToSlash(arg), "/...")
+		recursive := pattern != filepath.ToSlash(arg)
+		clean := strings.TrimPrefix(strings.TrimPrefix(pattern, "./"), "/")
+		if clean == "" {
+			return true
+		}
+		if pathMatch(pkg.Path, clean, recursive) {
+			return true
+		}
+		if abs, err := filepath.Abs(arg); err == nil && filepath.Clean(abs) == pkg.Dir {
+			return true
+		}
+	}
+	return false
+}
+
+func pathMatch(path, pattern string, recursive bool) bool {
+	if path == pattern || strings.HasSuffix(path, "/"+pattern) {
+		return true
+	}
+	if !recursive {
+		return false
+	}
+	return strings.Contains(path, "/"+pattern+"/") || strings.HasPrefix(path, pattern+"/")
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+)
+
+// The escape hatch: a comment of the form
+//
+//	//arblint:allow <analyzer>
+//
+// suppresses exactly one diagnostic from the named analyzer — the first
+// one reported on the comment's own line (trailing-comment form) or on
+// the line directly below it (preceding-comment form). An allow comment
+// that suppresses nothing is itself reported as a diagnostic, so
+// exemptions cannot outlive the code they excuse.
+var allowRE = regexp.MustCompile(`^//\s*arblint:allow\s+([A-Za-z0-9_-]+)`)
+
+type allowComment struct {
+	pos  token.Position
+	used bool
+}
+
+// filterAllows applies the //arblint:allow escape hatch for one
+// analyzer's diagnostics over one package: suppressed diagnostics are
+// dropped and unused allow comments naming this analyzer are appended
+// as diagnostics of their own.
+func filterAllows(analyzer string, pkg *Package, diags []Diagnostic) []Diagnostic {
+	// Collect this analyzer's allow comments, keyed by the line they
+	// cover. A comment on line L covers line L (when it trails code) and
+	// line L+1 (when it stands alone above the offending line); the
+	// budget of one suppression is shared across both.
+	byLine := make(map[string]map[int][]*allowComment)
+	var all []*allowComment
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil || m[1] != analyzer {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ac := &allowComment{pos: pos}
+				all = append(all, ac)
+				lines := byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*allowComment)
+					byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], ac)
+				lines[pos.Line+1] = append(lines[pos.Line+1], ac)
+			}
+		}
+	}
+	if len(all) == 0 {
+		return diags
+	}
+
+	// Match diagnostics in position order so "exactly one" is
+	// deterministic: the first diagnostic a comment can cover consumes
+	// it, later ones on the same line are still reported.
+	sortDiagnostics(diags)
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, ac := range byLine[d.Pos.Filename][d.Pos.Line] {
+			if !ac.used {
+				ac.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, ac := range all {
+		if !ac.used {
+			kept = append(kept, Diagnostic{
+				Pos:      ac.pos,
+				Message:  "unused //arblint:allow " + analyzer + " comment: no " + analyzer + " diagnostic on this or the next line",
+				Analyzer: analyzer,
+			})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseForAllows builds the minimal Package filterAllows needs (parsed
+// files and a FileSet) from in-memory source.
+func parseForAllows(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "test/allow", Fset: fset, Files: []*ast.File{f}}
+}
+
+func diagAt(pkg *Package, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: "allow.go", Line: line, Column: 1},
+		Message:  msg,
+		Analyzer: "determinism",
+	}
+}
+
+// TestAllowSuppressesExactlyOne pins the budget: one comment, one
+// suppression — a second diagnostic on the covered line survives.
+func TestAllowSuppressesExactlyOne(t *testing.T) {
+	pkg := parseForAllows(t, `package p
+
+func f() {
+	g() //arblint:allow determinism
+}
+
+func g() {}
+`)
+	diags := []Diagnostic{
+		diagAt(pkg, 4, "first finding"),
+		diagAt(pkg, 4, "second finding"),
+	}
+	got := filterAllows("determinism", pkg, diags)
+	if len(got) != 1 || got[0].Message != "second finding" {
+		t.Fatalf("want only the second finding to survive, got %v", got)
+	}
+}
+
+// TestAllowCoversNextLine pins the preceding-comment form and that the
+// comment is consumed by the first matching line only.
+func TestAllowCoversNextLine(t *testing.T) {
+	pkg := parseForAllows(t, `package p
+
+func f() {
+	//arblint:allow determinism
+	g()
+	g()
+}
+
+func g() {}
+`)
+	diags := []Diagnostic{diagAt(pkg, 5, "covered"), diagAt(pkg, 6, "not covered")}
+	got := filterAllows("determinism", pkg, diags)
+	if len(got) != 1 || got[0].Message != "not covered" {
+		t.Fatalf("want only line 6 to survive, got %v", got)
+	}
+}
+
+// TestUnusedAllowReported pins the stale-exemption rule: an allow
+// comment with nothing to suppress becomes a finding at the comment.
+func TestUnusedAllowReported(t *testing.T) {
+	pkg := parseForAllows(t, `package p
+
+//arblint:allow determinism
+func f() {}
+`)
+	got := filterAllows("determinism", pkg, nil)
+	if len(got) != 1 {
+		t.Fatalf("want one unused-allow finding, got %v", got)
+	}
+	if !strings.Contains(got[0].Message, "unused //arblint:allow determinism") {
+		t.Fatalf("unexpected message %q", got[0].Message)
+	}
+	if got[0].Pos.Line != 3 {
+		t.Fatalf("finding at line %d, want the comment's line 3", got[0].Pos.Line)
+	}
+}
+
+// TestAllowOtherAnalyzerIgnored pins name scoping: an allow naming a
+// different analyzer neither suppresses nor reports here.
+func TestAllowOtherAnalyzerIgnored(t *testing.T) {
+	pkg := parseForAllows(t, `package p
+
+func f() {
+	g() //arblint:allow nilprobe
+}
+
+func g() {}
+`)
+	diags := []Diagnostic{diagAt(pkg, 4, "survives")}
+	got := filterAllows("determinism", pkg, diags)
+	if len(got) != 1 || got[0].Message != "survives" {
+		t.Fatalf("want the finding to survive and no unused report, got %v", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package analysis is the repository's static-analysis toolkit: a
+// minimal, dependency-free reimplementation of the golang.org/x/tools
+// go/analysis surface (Analyzer, Pass, Diagnostic) plus a module
+// loader, built entirely on the standard library's go/ast, go/parser,
+// go/types and go/importer packages.
+//
+// The usual way to write Go analyzers is golang.org/x/tools/go/analysis
+// with the x/tools loader and analysistest harness. This repository
+// deliberately has no external dependencies (go.mod lists none, and the
+// build environment is offline), so the small slice of that machinery
+// the four arblint analyzers need is reimplemented here. The API shape
+// is kept close to x/tools so the analyzers could be ported to a real
+// multichecker by swapping imports if the dependency ever lands.
+//
+// The analyzers themselves (Determinism, NilProbe, ValidateCall,
+// SeedSrc) encode invariants that every reproduced table in
+// EXPERIMENTS.md rests on: fixed-seed runs are bit-identical,
+// nil-Observer simulation paths are allocation-free, and configurations
+// are validated before use. See the per-analyzer files and
+// docs/ARCHITECTURE.md ("Static analysis").
+//
+// A diagnostic can be suppressed at the offending line (or the line
+// above it) with the escape hatch
+//
+//	//arblint:allow <analyzer>
+//
+// Each allow comment suppresses exactly one diagnostic from the named
+// analyzer; an allow comment that suppresses nothing is itself
+// reported, so stale exemptions cannot accumulate. See allow.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. Unlike the x/tools original it
+// carries an optional package filter: repository invariants like
+// determinism only bind in the simulator packages, and the driver uses
+// AppliesTo to skip the rest of the tree.
+type Analyzer struct {
+	// Name is the analyzer's identifier: the diagnostic suffix printed
+	// by cmd/arblint and the token named in //arblint:allow comments.
+	Name string
+	// Doc is the one-paragraph description shown by `arblint -list`.
+	Doc string
+	// AppliesTo reports whether the analyzer should run on the package
+	// with the given import path. A nil AppliesTo means every package.
+	// The analysistest harness ignores this filter so testdata packages
+	// exercise the analyzer regardless of their synthetic import paths.
+	AppliesTo func(pkgPath string) bool
+	// Run performs the analysis on one type-checked package, reporting
+	// findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test files, comments included.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, with its position already resolved so the
+// driver and tests can sort and print without a FileSet at hand.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// RunAnalyzer runs one analyzer over one loaded package and returns its
+// diagnostics with //arblint:allow suppressions already applied and
+// unused allow comments reported, sorted by position. This is the one
+// entry point shared by the cmd/arblint driver and the analysistest
+// harness, so the escape hatch behaves identically in both.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+	}
+	diags := filterAllows(a.Name, pkg, pass.diags)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil
+// for calls through function-typed values, builtins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is the package-level function pkgPath.name
+// (methods never match: they have a receiver).
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Pkg() == nil || f.Name() != name || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// obsTypeNamed reports whether t is the named type `name` declared in
+// the observability package busarb/internal/obs. Matching by package
+// suffix keeps the check valid for testdata packages, which import the
+// real obs package through the module loader.
+func obsTypeNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != name {
+		return false
+	}
+	return pathHasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// pathHasSuffix reports whether path ends with the given slash-separated
+// suffix on a path-segment boundary.
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}

@@ -1,0 +1,158 @@
+// Package analysistest is a golden-diagnostic harness for the arblint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the repository's own loader (see internal/analysis for why x/tools is
+// reimplemented rather than imported).
+//
+// A testdata package annotates the lines where diagnostics are expected
+// with want comments carrying one quoted regular expression per
+// expected diagnostic:
+//
+//	t := time.Now() // want `time.Now`
+//	a, b := f(), g() // want `first` `second`
+//
+// Every diagnostic must match an expectation on its line and every
+// expectation must be matched — extra and missing diagnostics both fail
+// the test. Diagnostics run through the same //arblint:allow filtering
+// as cmd/arblint, so testdata can also pin the escape-hatch semantics
+// (a suppressed diagnostic simply has no want comment; an unused allow
+// comment wants its own "unused" diagnostic).
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"busarb/internal/analysis"
+)
+
+// Run loads the package in dir (relative paths resolve against the test
+// binary's working directory, i.e. the package source dir) and checks
+// the analyzer's diagnostics against the want comments. The analyzer's
+// AppliesTo filter is deliberately ignored: testdata lives under paths
+// the filter would skip.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	prog, err := analysis.ModuleProgram()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	pkg, err := prog.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if !consumeWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func consumeWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE finds the expectation marker: "want" immediately after a //
+// delimiter (so prose like "we want to" never matches), capturing the
+// pattern list. The marker may follow other comment text, which is how
+// an //arblint:allow line wants its own unused-allow diagnostic.
+var wantRE = regexp.MustCompile(`//\s?want\s+(.*)$`)
+
+// collectWants parses the `// want` expectations out of every comment
+// in the package, keyed by "filename:line".
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s: %v", pos, err)
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns splits a want payload into its quoted regexps: a
+// whitespace-separated sequence of `...` or "..." tokens.
+func parsePatterns(rest string) ([]string, error) {
+	rest = strings.TrimSpace(rest)
+	var out []string
+	for rest != "" {
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated ` in want comment")
+			}
+			out = append(out, rest[1:1+end])
+			rest = strings.TrimSpace(rest[end+2:])
+		case '"':
+			end := 1
+			for end < len(rest) && rest[end] != '"' {
+				if rest[end] == '\\' {
+					end++
+				}
+				end++
+			}
+			if end >= len(rest) {
+				return nil, fmt.Errorf(`unterminated " in want comment`)
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %s: %v", rest[:end+1], err)
+			}
+			out = append(out, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		default:
+			return nil, fmt.Errorf("want comment: expected quoted pattern, found %q", rest)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}

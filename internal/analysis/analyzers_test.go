@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"busarb/internal/analysis"
+	"busarb/internal/analysis/analysistest"
+)
+
+// Each analyzer's golden testdata demonstrates at least one flagged
+// violation, at least one legal counterpart, and the //arblint:allow
+// escape hatch (a consumed allow and an unused one that reports
+// itself).
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "testdata/src/determinism")
+}
+
+func TestNilProbe(t *testing.T) {
+	analysistest.Run(t, analysis.NilProbe, "testdata/src/nilprobe")
+}
+
+func TestValidateCall(t *testing.T) {
+	analysistest.Run(t, analysis.ValidateCall, "testdata/src/validatecall")
+}
+
+func TestSeedSrc(t *testing.T) {
+	analysistest.Run(t, analysis.SeedSrc, "testdata/src/seedsrc")
+}
+
+// TestAnalyzerScope pins the package filters: determinism binds in the
+// simulator and cmd packages only, nilprobe in simulator packages only,
+// seedsrc everywhere but the blessed internal/rng, validatecall
+// everywhere.
+func TestAnalyzerScope(t *testing.T) {
+	cases := []struct {
+		analyzer *analysis.Analyzer
+		path     string
+		want     bool
+	}{
+		{analysis.Determinism, "busarb/internal/bussim", true},
+		{analysis.Determinism, "busarb/cmd/benchjson", true},
+		{analysis.Determinism, "busarb/internal/report", false},
+		{analysis.Determinism, "busarb/internal/obs", false},
+		{analysis.NilProbe, "busarb/internal/cyclesim", true},
+		{analysis.NilProbe, "busarb/internal/obs", false},
+		{analysis.NilProbe, "busarb/cmd/arbtrace", false},
+		{analysis.SeedSrc, "busarb/internal/rng", false},
+		{analysis.SeedSrc, "busarb/internal/workload", true},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.AppliesTo(c.path); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
+		}
+	}
+	if analysis.ValidateCall.AppliesTo != nil {
+		t.Error("validatecall should apply to every package (nil AppliesTo)")
+	}
+}

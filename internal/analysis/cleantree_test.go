@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"busarb/internal/analysis"
+)
+
+// TestTreeIsClean runs the full arblint suite over every package of the
+// module and requires zero findings: the invariants the analyzers
+// encode (bit-identical fixed-seed runs, allocation-free nil-Observer
+// paths, validated configs, rng-only randomness) must hold on the
+// shipping tree, not just in CI where `make lint` runs the cmd/arblint
+// driver. Deleting a nil-Observer guard in internal/bussim — or adding
+// a time.Now to a simulator — fails this test and therefore `go test
+// ./...` itself.
+func TestTreeIsClean(t *testing.T) {
+	prog, err := analysis.ModuleProgram()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, pkg := range prog.Packages() {
+		// The shared program may have testdata packages cached by the
+		// analysistest runs; those hold deliberate violations.
+		if strings.Contains(pkg.Path, "/testdata/") {
+			continue
+		}
+		for _, a := range analysis.Analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s", d)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simPackagePaths are the packages whose runs must be bit-identical for
+// a fixed seed: every number in EXPERIMENTS.md comes out of them. The
+// determinism and nilprobe analyzers bind only here (plus cmd/ for
+// determinism: the CLIs stamp and steer reproductions).
+var simPackagePaths = []string{
+	"internal/sim",
+	"internal/bussim",
+	"internal/cyclesim",
+	"internal/mp",
+	"internal/snoop",
+	"internal/membus",
+	"internal/contention",
+	"internal/core",
+	"internal/wiredor",
+}
+
+func isSimPackage(path string) bool {
+	for _, s := range simPackagePaths {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are math/rand top-level functions that build a
+// generator rather than draw from the process-global source. They are
+// SeedSrc's concern (randomness must come from busarb/internal/rng), so
+// Determinism leaves them alone instead of double-reporting.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism flags the three ways a simulator package silently loses
+// run-to-run reproducibility:
+//
+//   - time.Now: wall-clock reads make output depend on when, not what,
+//     was simulated.
+//   - math/rand top-level functions (Intn, Float64, Shuffle, ...): they
+//     draw from the process-global source, whose state depends on every
+//     other draw in the process and on Go's generator version.
+//   - range over a map: iteration order is randomized per run. The
+//     collect-keys idiom — a loop body that only appends to a slice,
+//     which the surrounding code can then sort — is recognized and
+//     allowed; anything else must sort first or carry an
+//     //arblint:allow determinism comment.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag time.Now, global math/rand draws, and unsorted map iteration " +
+		"in simulator and cmd packages (fixed-seed runs must be bit-identical)",
+	AppliesTo: func(path string) bool {
+		return isSimPackage(path) || strings.Contains(path, "/cmd/")
+	},
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn == nil {
+					return true
+				}
+				if isPkgFunc(fn, "time", "Now") {
+					pass.Reportf(n.Pos(), "time.Now makes output depend on wall-clock time; plumb a deterministic stamp instead")
+				}
+				if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(), "%s.%s draws from the process-global random source; use a seeded busarb/internal/rng.Source", pkg.Path(), fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.Info.Types[n.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok && !isCollectKeysLoop(n) {
+						pass.Reportf(n.Pos(), "range over map has nondeterministic iteration order; collect the keys and sort them first")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCollectKeysLoop recognizes the one deterministic use of map
+// iteration: a body that is exactly one append onto a slice
+// (`keys = append(keys, k)`), leaving ordering to a later sort.
+func isCollectKeysLoop(loop *ast.RangeStmt) bool {
+	if len(loop.Body.List) != 1 {
+		return false
+	}
+	assign, ok := loop.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	// The collected slice must be the one assigned to.
+	return types.ExprString(call.Args[0]) == types.ExprString(assign.Lhs[0])
+}

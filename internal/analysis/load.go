@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package of the module (or of a
+// testdata tree loaded explicitly through Program.LoadDir).
+type Package struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed non-test files, with comments.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a loaded module: every non-testdata package under the
+// module root, parsed and type-checked against the standard library.
+//
+// Standard-library imports are resolved by the go/importer "source"
+// importer (type-checking GOROOT sources directly), so loading needs no
+// network, no GOPATH installation, and no export data — only the Go
+// toolchain the repository already builds with.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	RootDir    string
+
+	mu      sync.Mutex
+	std     types.Importer
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // import-cycle detection
+}
+
+var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// LoadModule discovers, parses, and type-checks every package of the
+// module rooted at (or above) dir. Directories named testdata, hidden
+// directories, and _test.go files are skipped — arblint checks the
+// shipping tree, and testdata packages hold deliberate violations.
+func LoadModule(dir string) (*Program, error) {
+	root, modpath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	prog := &Program{
+		Fset:       fset,
+		ModulePath: modpath,
+		RootDir:    root,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		if _, err := prog.LoadDir(d); err != nil && err != errNoGoFiles {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// findModule walks upward from dir to the enclosing go.mod and returns
+// the module root and module path.
+func findModule(dir string) (root, modpath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			m := moduleRE.FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("%s/go.mod: no module directive", d)
+			}
+			return d, string(m[1]), nil
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+	}
+}
+
+// Packages returns the loaded packages sorted by import path.
+func (p *Program) Packages() []*Package {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Package, 0, len(p.pkgs))
+	for _, pkg := range p.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+var errNoGoFiles = fmt.Errorf("no non-test Go files")
+
+// LoadDir parses and type-checks the single package in dir, loading any
+// module-internal dependencies on demand. It is how testdata packages —
+// which the module walk deliberately skips — get loaded by the
+// analysistest harness.
+func (p *Program) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(p.RootDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("%s is outside module %s", dir, p.ModulePath)
+	}
+	path := p.ModulePath
+	if rel != "." {
+		path = p.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.load(path, abs)
+}
+
+// load parses and type-checks one package, assuming p.mu is held.
+func (p *Program) load(path, dir string) (*Package, error) {
+	if pkg, ok := p.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if p.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	p.loading[path] = true
+	defer delete(p.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, errNoGoFiles
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importerFunc(p.importPkg)}
+	tpkg, err := conf.Check(path, p.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: p.Fset, Files: files, Types: tpkg, Info: info}
+	p.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves one import during type checking: module-internal
+// paths recurse into the loader; everything else goes to the
+// standard-library source importer.
+func (p *Program) importPkg(path string) (*types.Package, error) {
+	if path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, p.ModulePath), "/")
+		pkg, err := p.load(path, filepath.Join(p.RootDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return p.std.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// moduleOnce caches the module program across the analyzer tests and
+// the clean-tree test: loading type-checks the entire repository plus
+// the slice of the standard library it imports, which is worth doing
+// once per process, not once per test.
+var (
+	moduleOnce sync.Once
+	moduleProg *Program
+	moduleErr  error
+)
+
+// ModuleProgram loads (once per process) the module enclosing the
+// working directory.
+func ModuleProgram() (*Program, error) {
+	moduleOnce.Do(func() {
+		moduleProg, moduleErr = LoadModule(".")
+	})
+	return moduleProg, moduleErr
+}

@@ -1,0 +1,386 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NilProbe enforces the observability layer's zero-cost contract
+// (internal/obs doc, pinned by the AllocsPerRun tests from PR 1/2): a
+// nil Observer must cost nothing on the simulation hot path. Two rules:
+//
+//  1. Every direct emission P.OnEvent(e), where P is an obs.Probe, must
+//     be dominated by a nil check of that same expression — either an
+//     enclosing `if P != nil { ... }` or a preceding `if P == nil {
+//     return }`.
+//
+//  2. A call to a probe-emitting helper (a function taking an obs.Event
+//     that forwards to a guarded OnEvent, like bussim's (*system).emit)
+//     is exempt from rule 1 — the helper guards internally — unless an
+//     argument allocates (append, make, new, a slice/map literal, a
+//     slice conversion). Building the event costs before the helper's
+//     guard runs, so allocating call sites must sit under their own
+//     nil-Observer check. This is exactly the pattern around the
+//     arbitration-snapshot copy in bussim.beginArbitration.
+//
+// Dominance is tracked syntactically per function: guards do not
+// survive into deferred calls or function literals, which run at other
+// times.
+//
+// One structural exemption: the body of an OnEvent(obs.Event) method —
+// i.e. a Probe implementation, like mp's missProbe or obs.Multi — is
+// not checked. A combinator's forwarding target is non-nil by
+// construction (it is only installed when an observer is attached), and
+// its OnEvent only runs downstream of the simulator's own guard, where
+// the zero-cost contract is already paid.
+var NilProbe = &Analyzer{
+	Name: "nilprobe",
+	Doc: "probe emissions (and allocating arguments to emit helpers) must be " +
+		"dominated by a nil check, keeping the nil-Observer path allocation-free",
+	AppliesTo: isSimPackage,
+	Run:       runNilProbe,
+}
+
+func runNilProbe(pass *Pass) error {
+	w := &probeWalker{pass: pass, emitters: findEmitHelpers(pass)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && !isProbeImpl(pass, fd) {
+				w.stmts(fd.Body.List, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// isProbeImpl reports whether fd is an OnEvent(obs.Event) method — the
+// Probe interface's one method, i.e. a probe implementation or
+// combinator, which the analyzer exempts (see the package doc above).
+func isProbeImpl(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "OnEvent" {
+		return false
+	}
+	params := fd.Type.Params.List
+	if len(params) != 1 {
+		return false
+	}
+	t := pass.Info.Types[params[0].Type].Type
+	return t != nil && obsTypeNamed(t, "Event")
+}
+
+// findEmitHelpers returns the package's probe-emitting helpers:
+// functions with an obs.Event parameter whose body forwards to
+// OnEvent. (Whether the forwarding is guarded is rule 1's business —
+// the helper body is walked like any other function.)
+func findEmitHelpers(pass *Pass) map[*types.Func]bool {
+	helpers := make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			hasEventParam := false
+			for _, field := range fd.Type.Params.List {
+				if t := pass.Info.Types[field.Type].Type; t != nil && obsTypeNamed(t, "Event") {
+					hasEventParam = true
+				}
+			}
+			if !hasEventParam {
+				continue
+			}
+			forwards := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && pass.probeReceiver(call) != nil {
+					forwards = true
+				}
+				return !forwards
+			})
+			if forwards {
+				helpers[fn] = true
+			}
+		}
+	}
+	return helpers
+}
+
+// probeReceiver returns the receiver expression of an OnEvent call on
+// an obs.Probe, or nil if the call is anything else.
+func (p *Pass) probeReceiver(call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "OnEvent" {
+		return nil
+	}
+	if t := p.Info.Types[sel.X].Type; t != nil && obsTypeNamed(t, "Probe") {
+		return sel.X
+	}
+	return nil
+}
+
+// probeWalker walks a function body carrying the set of probe-typed
+// expressions currently proven non-nil (by their canonical source
+// text).
+type probeWalker struct {
+	pass     *Pass
+	emitters map[*types.Func]bool
+}
+
+type guardSet map[string]bool
+
+func (g guardSet) with(names []string) guardSet {
+	if len(names) == 0 {
+		return g
+	}
+	out := make(guardSet, len(g)+len(names))
+	for k := range g {
+		out[k] = true
+	}
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
+}
+
+// stmts walks a statement list in order, returning the guard set in
+// force after it (early-return nil checks extend the set for the
+// statements that follow).
+func (w *probeWalker) stmts(list []ast.Stmt, g guardSet) guardSet {
+	for _, s := range list {
+		g = w.stmt(s, g)
+	}
+	return g
+}
+
+func (w *probeWalker) stmt(s ast.Stmt, g guardSet) guardSet {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, g)
+		}
+		w.exprs(g, s.Cond)
+		nonNil, isNil := w.splitNilCond(s.Cond)
+		w.stmts(s.Body.List, g.with(nonNil))
+		if s.Else != nil {
+			// `if P == nil { ... } else { ... }`: the else branch has P.
+			w.stmt(s.Else, g.with(isNil))
+		}
+		// `if P == nil { return }` proves P for everything after.
+		if len(isNil) > 0 && terminates(s.Body) {
+			g = g.with(isNil)
+		}
+	case *ast.BlockStmt:
+		g = w.stmts(s.List, g)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, g)
+		}
+		w.exprs(g, s.Cond)
+		if s.Post != nil {
+			w.stmt(s.Post, g)
+		}
+		w.stmts(s.Body.List, g)
+	case *ast.RangeStmt:
+		w.exprs(g, s.X)
+		w.stmts(s.Body.List, g)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, g)
+		}
+		w.exprs(g, s.Tag)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.exprs(g, cc.List...)
+				w.stmts(cc.Body, g)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, g)
+		}
+		w.stmt(s.Assign, g)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, g)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, g)
+				}
+				w.stmts(cc.Body, g)
+			}
+		}
+	case *ast.LabeledStmt:
+		g = w.stmt(s.Stmt, g)
+	case *ast.ExprStmt:
+		w.exprs(g, s.X)
+	case *ast.AssignStmt:
+		w.exprs(g, s.Rhs...)
+		w.exprs(g, s.Lhs...)
+	case *ast.ReturnStmt:
+		w.exprs(g, s.Results...)
+	case *ast.SendStmt:
+		w.exprs(g, s.Chan, s.Value)
+	case *ast.IncDecStmt:
+		w.exprs(g, s.X)
+	case *ast.GoStmt:
+		// The call runs at another time; its guards may no longer hold.
+		w.exprs(nil, s.Call)
+	case *ast.DeferStmt:
+		w.exprs(nil, s.Call)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.exprs(g, vs.Values...)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// exprs checks every emission reachable from the given expressions
+// under the guard set g. Function literals start over with no guards.
+func (w *probeWalker) exprs(g guardSet, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				w.stmts(n.Body.List, nil)
+				return false
+			case *ast.CallExpr:
+				w.checkCall(n, g)
+			}
+			return true
+		})
+	}
+}
+
+func (w *probeWalker) checkCall(call *ast.CallExpr, g guardSet) {
+	if recv := w.pass.probeReceiver(call); recv != nil {
+		if !g[types.ExprString(recv)] {
+			w.pass.Reportf(call.Pos(), "%s.OnEvent is not dominated by a nil check of %s; a nil Observer must cost nothing (internal/obs zero-cost contract)",
+				types.ExprString(recv), types.ExprString(recv))
+		}
+		return
+	}
+	if fn := calleeFunc(w.pass.Info, call); fn != nil && w.emitters[fn] {
+		if len(g) == 0 && hasAllocatingArg(w.pass.Info, call) {
+			w.pass.Reportf(call.Pos(), "allocating argument to probe-emitting helper %s outside a nil-Observer guard; build the event only when a probe is attached",
+				fn.Name())
+		}
+	}
+}
+
+// splitNilCond decomposes an if condition into probe-typed expressions
+// proven non-nil when it holds (`P != nil`, possibly among &&
+// conjuncts) and proven nil (`P == nil`, sole condition).
+func (w *probeWalker) splitNilCond(cond ast.Expr) (nonNil, isNil []string) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&":
+			l1, _ := w.splitNilCond(e.X)
+			l2, _ := w.splitNilCond(e.Y)
+			return append(l1, l2...), nil
+		case "!=", "==":
+			probe := e.X
+			if isNilIdent(e.X) {
+				probe = e.Y
+			} else if !isNilIdent(e.Y) {
+				return nil, nil
+			}
+			if t := w.pass.Info.Types[probe].Type; t == nil || !obsTypeNamed(t, "Probe") {
+				return nil, nil
+			}
+			if e.Op.String() == "!=" {
+				return []string{types.ExprString(probe)}, nil
+			}
+			return nil, []string{types.ExprString(probe)}
+		}
+	}
+	return nil, nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block always transfers control out
+// (return, panic, or a loop/branch escape as its last statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasAllocatingArg reports whether any argument expression performs a
+// heap allocation: append/make/new, a composite literal with slice,
+// map, or pointer-yielding form, or a conversion to a slice type.
+func hasAllocatingArg(info *types.Info, call *ast.CallExpr) bool {
+	alloc := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if alloc {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						switch id.Name {
+						case "append", "make", "new":
+							alloc = true
+						}
+					}
+				}
+				// Conversions to slice types ([]byte(s), []int(nil))
+				// allocate when the operand is non-trivial; flagging the
+				// conversion form itself keeps the rule syntactic.
+				if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+					if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice && !isNilIdent(n.Args[0]) {
+						alloc = true
+					}
+				}
+			case *ast.CompositeLit:
+				if t := info.Types[n].Type; t != nil {
+					switch t.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						alloc = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() == "&" {
+					alloc = true
+				}
+			}
+			return !alloc
+		})
+		if alloc {
+			return true
+		}
+	}
+	return false
+}

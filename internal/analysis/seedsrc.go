@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SeedSrc keeps all randomness flowing through the one blessed
+// generator, busarb/internal/rng: a seeded xoshiro256** whose stream is
+// pinned forever, unlike math/rand's generator, which has changed
+// across Go releases. Constructing math/rand (or math/rand/v2)
+// generators anywhere else would fork the repository's randomness into
+// a second, version-dependent stream, so outside internal/rng it is an
+// error.
+var SeedSrc = &Analyzer{
+	Name: "seedsrc",
+	Doc: "math/rand generators (rand.New, rand.NewSource, ...) may only be " +
+		"constructed inside busarb/internal/rng; plumb seeds through rng.New",
+	AppliesTo: func(path string) bool {
+		return !pathHasSuffix(path, "internal/rng")
+	},
+	Run: runSeedSrc,
+}
+
+func runSeedSrc(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkg := fn.Pkg().Path()
+			if (pkg == "math/rand" || pkg == "math/rand/v2") && randConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(), "%s.%s constructs a generator outside busarb/internal/rng; use rng.New(seed) so randomness stays seed-plumbed and version-stable",
+					pkg, fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// Analyzers is the arblint suite, in the order the driver runs it.
+var Analyzers = []*Analyzer{Determinism, NilProbe, ValidateCall, SeedSrc}

@@ -1,0 +1,105 @@
+// Package nilprobe is golden testdata for the nilprobe analyzer. It
+// imports the real busarb/internal/obs package, so the probe types here
+// are exactly the ones the simulators use.
+package nilprobe
+
+import "busarb/internal/obs"
+
+type system struct {
+	observer obs.Probe
+	snapshot []int
+	now      float64
+}
+
+// guarded is the canonical legal emission: enclosed in a nil check of
+// the same expression.
+func (s *system) guarded() {
+	if s.observer != nil {
+		s.observer.OnEvent(obs.Event{Time: s.now, Kind: obs.Repass})
+	}
+}
+
+// earlyReturn proves the probe non-nil for the rest of the function.
+func (s *system) earlyReturn() {
+	if s.observer == nil {
+		return
+	}
+	s.observer.OnEvent(obs.Event{Time: s.now, Kind: obs.Repass})
+}
+
+// conjunction accepts the guard among && conjuncts.
+func (s *system) conjunction(enabled bool) {
+	if enabled && s.observer != nil {
+		s.observer.OnEvent(obs.Event{Time: s.now, Kind: obs.Repass})
+	}
+}
+
+// unguarded is the canonical violation.
+func (s *system) unguarded() {
+	s.observer.OnEvent(obs.Event{Time: s.now, Kind: obs.Repass}) // want `OnEvent is not dominated by a nil check`
+}
+
+// wrongGuard checks a different expression than it emits on.
+func (s *system) wrongGuard(other obs.Probe) {
+	if other != nil {
+		s.observer.OnEvent(obs.Event{Time: s.now, Kind: obs.Repass}) // want `nil check of s.observer`
+	}
+}
+
+// staleGuard shows that guards do not leak into function literals,
+// which may run after the observer is detached.
+func (s *system) staleGuard() func() {
+	if s.observer != nil {
+		return func() {
+			s.observer.OnEvent(obs.Event{Time: s.now, Kind: obs.Repass}) // want `OnEvent is not dominated`
+		}
+	}
+	return nil
+}
+
+// emit is a probe-emitting helper: it guards internally, so callers
+// need no guard of their own (rule 1 is satisfied inside the helper).
+func (s *system) emit(e obs.Event) {
+	if s.observer != nil {
+		s.observer.OnEvent(e)
+	}
+}
+
+// helperPlain forwards a flat event; the helper's internal guard is
+// enough.
+func (s *system) helperPlain() {
+	s.emit(obs.Event{Time: s.now, Kind: obs.ServiceEnd, Agent: 3})
+}
+
+// helperGuardedAlloc copies the snapshot only under its own nil check —
+// the shape of bussim.beginArbitration, which keeps the nil-Observer
+// path allocation-free.
+func (s *system) helperGuardedAlloc() {
+	if s.observer != nil {
+		s.emit(obs.Event{Time: s.now, Kind: obs.ArbitrationStart,
+			Agents: append([]int(nil), s.snapshot...)})
+	}
+}
+
+// helperUnguardedAlloc builds the snapshot copy unconditionally: the
+// allocation happens even when no probe is attached.
+func (s *system) helperUnguardedAlloc() {
+	s.emit(obs.Event{Time: s.now, Kind: obs.ArbitrationStart, // want `allocating argument to probe-emitting helper emit`
+		Agents: append([]int(nil), s.snapshot...)})
+}
+
+// allowed demonstrates the escape hatch on an emission.
+func (s *system) allowed() {
+	s.observer.OnEvent(obs.Event{Time: s.now, Kind: obs.Repass}) //arblint:allow nilprobe
+}
+
+// forwarder implements obs.Probe; combinators forward without guards
+// because they are only installed when an observer is attached, so
+// OnEvent bodies are exempt.
+type forwarder struct {
+	next obs.Probe
+}
+
+func (f *forwarder) OnEvent(e obs.Event) {
+	f.next.OnEvent(e)
+}

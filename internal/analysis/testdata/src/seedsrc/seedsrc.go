@@ -1,0 +1,39 @@
+// Package seedsrc is golden testdata for the seedsrc analyzer.
+package seedsrc
+
+import (
+	"math/rand"
+
+	"busarb/internal/rng"
+)
+
+// fresh constructs a math/rand generator directly: two findings on one
+// line, one per constructor.
+func fresh(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `math/rand.New constructs a generator` `math/rand.NewSource constructs a generator`
+}
+
+// blessed is the sanctioned path: the repository's pinned xoshiro256**
+// generator, seed-plumbed.
+func blessed(seed uint64) *rng.Source {
+	return rng.New(seed)
+}
+
+// draws on an already-constructed *rand.Rand are not seedsrc's concern
+// (and are legal outside simulator packages, where determinism does not
+// bind).
+func draw(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// allowed shows the escape hatch.
+func allowed(seed int64) rand.Source {
+	return rand.NewSource(seed) //arblint:allow seedsrc
+}
+
+// An exemption that excuses nothing reports itself.
+//
+//arblint:allow seedsrc // want `unused //arblint:allow seedsrc comment`
+func nothingToAllow() int {
+	return 7
+}

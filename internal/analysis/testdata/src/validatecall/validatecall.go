@@ -1,0 +1,75 @@
+// Package validatecall is golden testdata for the validatecall
+// analyzer.
+package validatecall
+
+import "errors"
+
+// Config declares the Validate() error contract every simulator
+// configuration carries.
+type Config struct {
+	N    int
+	Load float64
+}
+
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return errors.New("validatecall: N must be positive")
+	}
+	return nil
+}
+
+// Result is an arbitrary entry-point product.
+type Result struct{ Total int }
+
+// Run is the canonical legal shape: validate, then read fields.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Result{Total: cfg.N * 2}, nil
+}
+
+// RunUnchecked reads a field without ever validating.
+func RunUnchecked(cfg Config) int {
+	return cfg.N * 2 // want `RunUnchecked uses cfg.N but never calls cfg.Validate`
+}
+
+// RunLate validates only after fields were already read.
+func RunLate(cfg Config) (int, error) {
+	n := cfg.N // want `RunLate uses cfg.N before cfg.Validate`
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// NewRunner covers the New-style entry points and pointer configs.
+func NewRunner(cfg *Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Result{Total: cfg.N}, nil
+}
+
+// RunForward only passes the config wholesale: delegation is legal, the
+// callee validates (this mirrors the busarb facade wrappers).
+func RunForward(cfg Config) (*Result, error) {
+	return Run(cfg)
+}
+
+// RunAllowed shows the escape hatch.
+func RunAllowed(cfg Config) int {
+	return cfg.N //arblint:allow validatecall
+}
+
+// process is unexported and not an entry point: no obligation.
+func process(cfg Config) int {
+	return cfg.N
+}
+
+// RunPlain takes a config without Validate: no obligation.
+type PlainOpts struct{ Depth int }
+
+func RunPlain(o PlainOpts) int {
+	return o.Depth
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ValidateCall enforces the config-hygiene invariant from PR 2: every
+// simulator configuration declares Validate() error, and exported
+// Run/New-style entry points must invoke it before reading any config
+// field. An entry point that only forwards the config wholesale (like
+// the busarb facade's per-simulator wrappers delegating to
+// internal Run functions, which validate themselves) is legal: the rule
+// is "no field use before Validate", not "Validate appears textually".
+//
+// The check is a source-order approximation of dominance — positions
+// within the function body — which is exact for the early-return
+// validate-then-use shape every entry point in this repository uses.
+var ValidateCall = &Analyzer{
+	Name: "validatecall",
+	Doc: "exported Run/New entry points taking a config that declares " +
+		"Validate() error must call it before the first config field use",
+	Run: runValidateCall,
+}
+
+func runValidateCall(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !strings.HasPrefix(fd.Name.Name, "Run") && !strings.HasPrefix(fd.Name.Name, "New") {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					obj, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok || !hasValidateMethod(obj.Type()) {
+						continue
+					}
+					checkValidatedBeforeUse(pass, fd, obj)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// hasValidateMethod reports whether t (or *t) has a Validate() error in
+// its method set.
+func hasValidateMethod(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			fn := ms.At(i).Obj()
+			if fn.Name() != "Validate" {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+				continue
+			}
+			named, ok := sig.Results().At(0).Type().(*types.Named)
+			if ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkValidatedBeforeUse reports the first selector use of cfg (a
+// field read or a method call other than Validate) that precedes the
+// cfg.Validate() call in source order — or every use, if Validate is
+// never called.
+func checkValidatedBeforeUse(pass *Pass, fd *ast.FuncDecl, cfg *types.Var) {
+	validatePos := token.Pos(0)
+	type use struct {
+		pos  token.Pos
+		text string
+	}
+	var firstUse *use
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != cfg {
+			return true
+		}
+		if sel.Sel.Name == "Validate" {
+			if validatePos == 0 || sel.Pos() < validatePos {
+				validatePos = sel.Pos()
+			}
+			return false
+		}
+		if firstUse == nil || sel.Pos() < firstUse.pos {
+			firstUse = &use{pos: sel.Pos(), text: types.ExprString(sel)}
+		}
+		return true
+	})
+	if firstUse == nil {
+		return // pure delegation: the config is only forwarded wholesale
+	}
+	if validatePos == 0 {
+		pass.Reportf(firstUse.pos, "%s uses %s but never calls %s.Validate(); validate the configuration before reading it",
+			fd.Name.Name, firstUse.text, cfg.Name())
+		return
+	}
+	if firstUse.pos < validatePos {
+		pass.Reportf(firstUse.pos, "%s uses %s before %s.Validate() is called; validate the configuration first",
+			fd.Name.Name, firstUse.text, cfg.Name())
+	}
+}

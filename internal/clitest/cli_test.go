@@ -99,6 +99,66 @@ func TestCLIFailurePathsExitNonZero(t *testing.T) {
 	}
 }
 
+// runStdout executes a binary and returns its exit code and stdout.
+func runStdout(t *testing.T, bin string, stdin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdin = strings.NewReader(stdin)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %s: %v (stderr: %s)", bin, err, stderr.String())
+	}
+	return code, stdout.String()
+}
+
+// TestBenchJSONStampReproducible pins the -stamp contract: with
+// -stamp=false (and no -date) the snapshot carries no wall-clock
+// residue, so regenerating a BENCH_*.json from the same bench output is
+// byte-identical — the determinism analyzer's escape hatch for
+// benchjson covers only the default stamping path.
+func TestBenchJSONStampReproducible(t *testing.T) {
+	bins := buildCmds(t)
+	bench := "BenchmarkX \t 10 \t 100 ns/op \t 8 B/op \t 1 allocs/op\n"
+
+	code, first := runStdout(t, bins["benchjson"], bench, "-stamp=false")
+	if code != 0 {
+		t.Fatalf("benchjson -stamp=false exited %d", code)
+	}
+	code, second := runStdout(t, bins["benchjson"], bench, "-stamp=false")
+	if code != 0 {
+		t.Fatalf("benchjson -stamp=false exited %d", code)
+	}
+	if first != second {
+		t.Errorf("-stamp=false output is not byte-identical:\n%s\nvs\n%s", first, second)
+	}
+	if !strings.Contains(first, `"date": ""`) && !strings.Contains(first, `"date":""`) {
+		t.Errorf("-stamp=false should leave the date empty, got:\n%s", first)
+	}
+
+	// Default behavior still stamps today's date (the archive's name
+	// contract), and -date overrides it deterministically.
+	code, stamped := runStdout(t, bins["benchjson"], bench)
+	if code != 0 {
+		t.Fatalf("benchjson exited %d", code)
+	}
+	if strings.Contains(stamped, `"date": ""`) || strings.Contains(stamped, `"date":""`) {
+		t.Errorf("default run should stamp a date, got:\n%s", stamped)
+	}
+	code, dated := runStdout(t, bins["benchjson"], bench, "-date", "2026-01-02")
+	if code != 0 {
+		t.Fatalf("benchjson -date exited %d", code)
+	}
+	if !strings.Contains(dated, "2026-01-02") {
+		t.Errorf("-date override missing from output:\n%s", dated)
+	}
+}
+
 func TestCLISuccessPathsExitZero(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real simulations")

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONL throws arbitrary bytes at the JSONL trace reader and
+// pins two properties the trace tooling relies on:
+//
+//  1. ReadJSONL never panics, whatever the input — corrupt traces must
+//     fail with an error (possibly after yielding a valid prefix), not
+//     crash arbtrace.
+//  2. Write∘Read is a projection: re-encoding whatever was decoded and
+//     decoding it again reproduces the same byte stream. This is the
+//     byte-determinism contract of the JSONL schema (golden-file tests
+//     pin it for one trace; the fuzzer pins it for all decodable
+//     inputs, covering field order, omitempty boundaries, and the
+//     nil-vs-empty Agents slice).
+func FuzzReadJSONL(f *testing.F) {
+	// A well-formed trace touching every field of the schema.
+	var golden bytes.Buffer
+	w := &JSONLWriter{W: &golden}
+	for _, e := range []Event{
+		{Time: 0, Kind: RequestIssued, Agent: 2, Urgent: true},
+		{Time: 0.5, Kind: ArbitrationStart, Agents: []int{1, 2, 3}},
+		{Time: 1.25, Kind: ArbitrationResolve, Agent: 3},
+		{Time: 1.25, Kind: Repass},
+		{Time: 2, Kind: ServiceStart, Agent: 3, Label: "BusRdX"},
+		{Time: 3, Kind: ServiceEnd, Agent: 3},
+		{Time: 3, Kind: CacheMiss, Agent: 1, Aux: 4096},
+		{Time: 4, Kind: Invalidation, Agent: 2, Aux: 4096},
+		{Time: 5, Kind: BankConflict, Agent: 1, Aux: 7},
+	} {
+		w.OnEvent(e)
+	}
+	if w.Err != nil {
+		f.Fatal(w.Err)
+	}
+	f.Add(golden.Bytes())
+	f.Add([]byte(`{"t":1,"ev":"request","agent":1}`))
+	f.Add([]byte(`{"t":1,"ev":"unknown-kind"}` + "\n" + `{"t":2,"ev":"arb-repass"}`))
+	f.Add([]byte(`{"t":1,"ev":"arb-start","agents":[]}`))
+	f.Add([]byte(`{"t":`))
+	f.Add([]byte("\x00\xff garbage"))
+	f.Add([]byte(`{"t":1e308,"ev":"request","aux":-9223372036854775808}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadJSONL(bytes.NewReader(data))
+		// Property 1 is the absence of a panic. Whatever decoded —
+		// including a valid prefix before an error — must round-trip.
+		if err != nil && len(events) == 0 {
+			return
+		}
+
+		var first bytes.Buffer
+		w1 := &JSONLWriter{W: &first}
+		for _, e := range events {
+			w1.OnEvent(e)
+		}
+		if w1.Err != nil {
+			t.Fatalf("re-encoding decoded events: %v", w1.Err)
+		}
+
+		again, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding re-encoded trace: %v\ntrace:\n%s", err, first.String())
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round-trip changed event count: %d -> %d", len(events), len(again))
+		}
+
+		var second bytes.Buffer
+		w2 := &JSONLWriter{W: &second}
+		for _, e := range again {
+			w2.OnEvent(e)
+		}
+		if w2.Err != nil {
+			t.Fatal(w2.Err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("re-encoding is not byte-stable:\nfirst:\n%s\nsecond:\n%s",
+				first.String(), second.String())
+		}
+		if n := strings.Count(first.String(), "\n"); n != len(events) {
+			t.Fatalf("%d events produced %d lines", len(events), n)
+		}
+	})
+}
