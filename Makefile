@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json check fuzz paper examples trace-demo clean
+.PHONY: all build vet lint test race bench bench-json check fuzz paper examples examples-smoke trace-demo clean
 
 all: build vet test
 
@@ -33,7 +33,7 @@ race:
 # The full gate: what CI (and a careful PR author) runs. gofmt -l
 # prints nothing when the tree is clean; grep flips that into an exit
 # status.
-check: vet build lint race
+check: vet build lint race examples-smoke
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed:"; echo "$$fmt_out"; exit 1; fi
 
 # Regenerate the sample event trace committed under docs/: a small
@@ -67,6 +67,12 @@ paper:
 
 examples:
 	for d in examples/*/; do echo "=== $$d ==="; $(GO) run ./$$d; done
+
+# The check-tier version of `examples`: run every example silently and
+# fail on the first broken one. The examples are documented usage of the
+# public API, so a runtime regression there is a break, not doc rot.
+examples-smoke:
+	@for d in examples/*/; do $(GO) run ./$$d >/dev/null || { echo "example $$d failed"; exit 1; }; done
 
 clean:
 	$(GO) clean ./...

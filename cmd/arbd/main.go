@@ -1,0 +1,114 @@
+// Command arbd serves bus-style arbitration over HTTP: named resources
+// are granted to networked agents by the paper's protocols, re-hosted
+// as real-time grant schedulers (internal/grant, internal/arbd).
+//
+// Examples:
+//
+//	arbd -addr :8321 -resources bus:10:RR1
+//	arbd -resources "bus:10:RR1,disk:4:FCFS2" -tick 500us -ttl 5s
+//	arbd -addr 127.0.0.1:0 -resources bus:8:FP   # free port, printed
+//
+// The daemon prints "arbd: listening on HOST:PORT" once it is
+// accepting connections and exits 0 on SIGINT/SIGTERM after answering
+// every queued acquire with 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"busarb/internal/arbd"
+)
+
+// parseResources parses the -resources spec: a comma-separated list of
+// name:agents:protocol triples sharing the flag-level timing knobs.
+func parseResources(spec string, tick, ttl time.Duration, queue int, window float64) ([]arbd.ResourceConfig, error) {
+	var out []arbd.ResourceConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("arbd: bad resource spec %q, want name:agents:protocol", part)
+		}
+		agents, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("arbd: bad agent count in %q: %v", part, err)
+		}
+		out = append(out, arbd.ResourceConfig{
+			Name:          fields[0],
+			Agents:        agents,
+			Protocol:      fields[2],
+			Tick:          tick,
+			TTL:           ttl,
+			MaxQueue:      queue,
+			MetricsWindow: window,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("arbd: -resources spec %q names no resources", spec)
+	}
+	return out, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address (host:port; port 0 picks a free port)")
+	resources := flag.String("resources", "bus:10:RR1",
+		"comma-separated resource specs, each name:agents:protocol")
+	tick := flag.Duration("tick", 0, "bus-cycle tick for every resource (0: 1ms default)")
+	ttl := flag.Duration("ttl", 0, "maximum lease lifetime (0: 30s default)")
+	queue := flag.Int("queue", 0, "max queued waiters per resource (0: 1024 default)")
+	window := flag.Float64("metrics-window", 0, "/metricz wait-quantile window in seconds (0: 5s default)")
+	flag.Parse()
+
+	rcs, err := parseResources(*resources, *tick, *ttl, *queue, *window)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	d, err := arbd.New(arbd.Config{Resources: rcs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		d.Close()
+		fmt.Fprintln(os.Stderr, "arbd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("arbd: listening on %s\n", ln.Addr())
+	for _, rc := range rcs {
+		fmt.Printf("arbd: serving %q to %d agents under %s\n", rc.Name, rc.Agents, rc.Protocol)
+	}
+
+	srv := &http.Server{Handler: d.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("arbd: %s, shutting down\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "arbd:", err)
+		d.Close()
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	d.Close()
+}

@@ -20,6 +20,11 @@ var simPackagePaths = []string{
 	"internal/contention",
 	"internal/core",
 	"internal/wiredor",
+	// grant re-hosts the protocols as real-time schedulers; the protocol
+	// state machines themselves must stay as deterministic as core's.
+	// (internal/arbd is deliberately absent: its shard loops are
+	// wall-clock by design — tickers, lease TTLs, client deadlines.)
+	"internal/grant",
 }
 
 func isSimPackage(path string) bool {

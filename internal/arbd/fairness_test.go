@@ -1,0 +1,75 @@
+package arbd
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// TestNetworkedFairness is Table 4.1 over a socket: ten closed-loop
+// clients saturate one resource through the full HTTP path and the
+// bandwidth ratio t_N/t_1 (worst-served throughput over best-served)
+// separates the protocols exactly as the paper's simulations do — the
+// round-robin and FCFS protocols share evenly, fixed priority starves
+// the low identities.
+func TestNetworkedFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive load run")
+	}
+	const (
+		agents   = 10
+		requests = 30
+	)
+	cases := []struct {
+		protocol string
+		minRatio float64 // inclusive lower bound on t_N/t_1
+		maxRatio float64 // inclusive upper bound
+	}{
+		{"RR1", 0.85, 1.15},
+		{"FCFS2", 0.85, 1.15},
+		{"FP", 0, 0.7}, // exclusive upper bound, checked below
+	}
+	for _, tc := range cases {
+		t.Run(tc.protocol, func(t *testing.T) {
+			d, err := New(Config{Resources: []ResourceConfig{{
+				Name:     "bus",
+				Agents:   agents,
+				Protocol: tc.protocol,
+				Tick:     testTick,
+			}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(d.Handler())
+			defer func() { srv.Close(); d.Close() }()
+
+			rep, err := RunLoad(LoadConfig{
+				BaseURL:  srv.URL,
+				Resource: "bus",
+				Agents:   agents,
+				Requests: requests,
+				Seed:     1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, a := range rep.Agents {
+				if a.Grants != requests {
+					t.Errorf("agent %d got %d grants, want %d", i+1, a.Grants, requests)
+				}
+			}
+			t.Logf("%s: bandwidth ratio t_N/t_1 = %.3f (run %.2fs, pooled Wp50=%s Wp90=%s)",
+				tc.protocol, rep.BandwidthRatio, rep.Elapsed.Seconds(), rep.WaitP50, rep.WaitP90)
+			if tc.protocol == "FP" {
+				if rep.BandwidthRatio >= tc.maxRatio {
+					t.Errorf("FP bandwidth ratio %.3f, want < %.2f: fixed priority should starve low identities at saturation",
+						rep.BandwidthRatio, tc.maxRatio)
+				}
+				return
+			}
+			if rep.BandwidthRatio < tc.minRatio || rep.BandwidthRatio > tc.maxRatio {
+				t.Errorf("%s bandwidth ratio %.3f outside [%.2f, %.2f]",
+					tc.protocol, rep.BandwidthRatio, tc.minRatio, tc.maxRatio)
+			}
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package arbd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"busarb/internal/obs"
+)
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/acquire?resource=R&agent=I[&timeout=2s][&ttl=5s]
+//	    Block until agent I is granted resource R (200 with a Lease
+//	    JSON body), the timeout passes (408), or the daemon pushes
+//	    back (503: full queue or shutting down).
+//	POST /v1/release?resource=R&token=T
+//	    End the lease T (200), or 404 if it is unknown or expired.
+//	GET  /metricz
+//	    Live per-resource JSON: per-agent grant and request tallies,
+//	    arbitration and repass counts, and the most recent closed
+//	    obs.Metrics window with per-agent wait quantiles.
+//	GET  /healthz
+//	    "ok" while the daemon is up.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/acquire", d.handleAcquire)
+	mux.HandleFunc("POST /v1/release", d.handleRelease)
+	mux.HandleFunc("GET /metricz", d.handleMetricz)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// shardFor resolves the resource parameter, writing the error itself
+// when it fails.
+func (d *Daemon) shardFor(w http.ResponseWriter, r *http.Request) *shard {
+	name := r.FormValue("resource")
+	if name == "" {
+		http.Error(w, "arbd: missing resource parameter", http.StatusBadRequest)
+		return nil
+	}
+	s, ok := d.shards[name]
+	if !ok {
+		http.Error(w, fmt.Sprintf("arbd: unknown resource %q", name), http.StatusNotFound)
+		return nil
+	}
+	return s
+}
+
+// parseDuration reads an optional duration parameter.
+func parseDuration(r *http.Request, name string) (time.Duration, error) {
+	v := r.FormValue(name)
+	if v == "" {
+		return 0, nil
+	}
+	dur, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("arbd: bad %s %q: %v", name, v, err)
+	}
+	if dur < 0 {
+		return 0, fmt.Errorf("arbd: negative %s %q", name, v)
+	}
+	return dur, nil
+}
+
+func (d *Daemon) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	s := d.shardFor(w, r)
+	if s == nil {
+		return
+	}
+	var agent int
+	if _, err := fmt.Sscanf(r.FormValue("agent"), "%d", &agent); err != nil {
+		http.Error(w, fmt.Sprintf("arbd: bad agent %q", r.FormValue("agent")), http.StatusBadRequest)
+		return
+	}
+	timeout, err := parseDuration(r, "timeout")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ttl, err := parseDuration(r, "ttl")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	lease, herr := s.acquire(r.Context(), agent, timeout, ttl)
+	if herr != nil {
+		http.Error(w, herr.msg, herr.code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(lease)
+}
+
+func (d *Daemon) handleRelease(w http.ResponseWriter, r *http.Request) {
+	s := d.shardFor(w, r)
+	if s == nil {
+		return
+	}
+	token := r.FormValue("token")
+	if token == "" {
+		http.Error(w, "arbd: missing token parameter", http.StatusBadRequest)
+		return
+	}
+	if !s.releaseToken(token) {
+		http.Error(w, "arbd: unknown or expired lease", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"released":true}`)
+}
+
+// AgentMetrics is one agent's slice of a /metricz resource entry.
+type AgentMetrics struct {
+	// Grants and Requests are cumulative since daemon start.
+	Grants   int64 `json:"grants"`
+	Requests int64 `json:"requests"`
+	// The wait quantiles summarize the most recent closed metrics
+	// window (zero when the agent was idle in it): time from request
+	// line assertion to lease end, in seconds.
+	WaitP50 float64 `json:"wait_p50_s"`
+	WaitP90 float64 `json:"wait_p90_s"`
+	WaitMax float64 `json:"wait_max_s"`
+}
+
+// ResourceMetrics is one resource's /metricz entry.
+type ResourceMetrics struct {
+	Protocol     string         `json:"protocol"`
+	Agents       []AgentMetrics `json:"agents"` // indexed by identity-1
+	Arbitrations int64          `json:"arbitrations"`
+	Repasses     int64          `json:"repasses"`
+	// WindowStart/WindowEnd bound the closed metrics window the wait
+	// quantiles come from, in seconds since daemon start; both zero
+	// when no window has closed yet.
+	WindowStart float64 `json:"window_start_s"`
+	WindowEnd   float64 `json:"window_end_s"`
+}
+
+// Metrics snapshots every resource's live counters and latest metrics
+// window. It is safe to call while the shard loops run: each snapshot
+// is taken under the shard's probe mutex.
+func (d *Daemon) Metrics() map[string]ResourceMetrics {
+	out := make(map[string]ResourceMetrics, len(d.names))
+	for _, name := range d.names {
+		s := d.shards[name]
+		rm := ResourceMetrics{
+			Protocol: s.cfg.Protocol,
+			Agents:   make([]AgentMetrics, s.cfg.Agents),
+		}
+		s.probe.Do(func() {
+			for id := 1; id <= s.cfg.Agents; id++ {
+				rm.Agents[id-1] = AgentMetrics{
+					Grants:   s.tally.grants[id],
+					Requests: s.tally.requests[id],
+				}
+			}
+			rm.Arbitrations = s.tally.arbitrations
+			rm.Repasses = s.tally.repasses
+			if wins := s.metrics.Windows(); len(wins) > 0 {
+				win := wins[len(wins)-1]
+				rm.WindowStart, rm.WindowEnd = win.Start, win.End
+				for id := 1; id <= s.cfg.Agents && id <= len(win.Agents); id++ {
+					a := win.Agents[id-1]
+					rm.Agents[id-1].WaitP50 = a.WaitP50
+					rm.Agents[id-1].WaitP90 = a.WaitP90
+					rm.Agents[id-1].WaitMax = a.WaitMax
+				}
+			}
+		})
+		out[name] = rm
+	}
+	return out
+}
+
+// metriczPayload is the /metricz document.
+type metriczPayload struct {
+	UptimeSeconds float64                    `json:"uptime_s"`
+	Resources     map[string]ResourceMetrics `json:"resources"`
+}
+
+func (d *Daemon) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(metriczPayload{
+		UptimeSeconds: d.Uptime().Seconds(),
+		Resources:     d.Metrics(),
+	})
+}
+
+// obsProbeCheck pins at compile time that tally satisfies obs.Probe.
+var _ obs.Probe = (*tally)(nil)

@@ -1,0 +1,291 @@
+package arbd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"busarb/internal/dist"
+	"busarb/internal/rng"
+)
+
+// This file is the closed-loop load generator behind cmd/arbload: the
+// paper's §4.1 workload pointed at a live daemon. Each agent is one
+// client goroutine with a single outstanding request: think for a
+// sampled interrequest time, acquire, hold, release, repeat, for a
+// fixed per-agent request budget. The report mirrors Table 4.1 over a
+// socket: per-agent grant throughput, the bandwidth ratio t_N/t_1
+// (worst-served over best-served agent), and acquire-wait quantiles.
+// (It lives in internal/arbd rather than cmd/arbload so the CLIs stay
+// free of wall-clock reads — the determinism analyzer binds cmd/.)
+
+// LoadConfig describes one load run.
+type LoadConfig struct {
+	// BaseURL locates the daemon, e.g. "http://127.0.0.1:8321".
+	BaseURL string
+	// Resource names the arbitrated resource to pound on.
+	Resource string
+	// Agents is the number of closed-loop clients (identities 1..Agents).
+	Agents int
+	// Requests is each agent's grant budget.
+	Requests int
+	// ThinkMean and ThinkCV shape the interrequest-time distribution
+	// (§4.1): mean seconds between release and the next acquire, with
+	// the given coefficient of variation. ThinkMean 0 is saturation.
+	ThinkMean float64
+	ThinkCV   float64
+	// Hold is how long each lease is held before release.
+	Hold time.Duration
+	// Timeout bounds each acquire; 0 means no client timeout.
+	Timeout time.Duration
+	// Seed selects the think-time random streams.
+	Seed uint64
+}
+
+// Validate checks the configuration; RunLoad returns exactly these
+// errors before touching the network.
+func (cfg LoadConfig) Validate() error {
+	if cfg.BaseURL == "" {
+		return fmt.Errorf("arbload: base URL required")
+	}
+	if cfg.Resource == "" {
+		return fmt.Errorf("arbload: resource name required")
+	}
+	if cfg.Agents < 1 {
+		return fmt.Errorf("arbload: need at least 1 agent, got %d", cfg.Agents)
+	}
+	if cfg.Requests < 1 {
+		return fmt.Errorf("arbload: need at least 1 request per agent, got %d", cfg.Requests)
+	}
+	if cfg.ThinkMean < 0 || cfg.ThinkCV < 0 {
+		return fmt.Errorf("arbload: negative think mean or CV")
+	}
+	if cfg.Hold < 0 || cfg.Timeout < 0 {
+		return fmt.Errorf("arbload: negative hold or timeout")
+	}
+	return nil
+}
+
+// AgentLoad is one agent's measurements.
+type AgentLoad struct {
+	// Grants is the number of leases obtained (== the budget unless
+	// acquires timed out).
+	Grants int64
+	// Timeouts counts 408 responses.
+	Timeouts int64
+	// Elapsed is the agent's wall time from first acquire to last
+	// release.
+	Elapsed time.Duration
+	// Throughput is Grants per second of Elapsed.
+	Throughput float64
+	// WaitP50, WaitP90, WaitMax summarize the acquire latencies.
+	WaitP50 time.Duration
+	WaitP90 time.Duration
+	WaitMax time.Duration
+}
+
+// LoadReport is the run's result.
+type LoadReport struct {
+	Agents  []AgentLoad // indexed by identity-1
+	Elapsed time.Duration
+	// BandwidthRatio is the networked Table 4.1 figure: the
+	// worst-served agent's throughput over the best-served agent's
+	// (t_N/t_1). Near 1.0 means the protocol shared the resource
+	// evenly; well below 1.0 means somebody starved.
+	BandwidthRatio float64
+	// WaitP50, WaitP90, WaitMax pool every agent's acquire latencies.
+	WaitP50 time.Duration
+	WaitP90 time.Duration
+	WaitMax time.Duration
+}
+
+// RunLoad drives the workload against a live daemon and reports. An
+// unreachable daemon or a non-grant HTTP status other than 408 fails
+// the run.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	base := strings.TrimSuffix(cfg.BaseURL, "/")
+	client := &http.Client{}
+
+	type agentResult struct {
+		agent AgentLoad
+		waits []time.Duration
+		err   error
+	}
+	results := make([]agentResult, cfg.Agents)
+	master := rng.New(cfg.Seed)
+	srcs := make([]*rng.Source, cfg.Agents)
+	for i := range srcs {
+		srcs[i] = master.Split()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 1; id <= cfg.Agents; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			res := &results[id-1]
+			var think dist.Sampler
+			if cfg.ThinkMean > 0 {
+				think = dist.ByCV(cfg.ThinkMean, cfg.ThinkCV)
+			}
+			src := srcs[id-1]
+			agentStart := time.Now()
+			for r := 0; r < cfg.Requests; r++ {
+				if think != nil {
+					time.Sleep(time.Duration(think.Sample(src) * float64(time.Second)))
+				}
+				t0 := time.Now()
+				lease, status, err := acquireOnce(client, base, cfg.Resource, id, cfg.Timeout)
+				if err != nil {
+					res.err = err
+					return
+				}
+				if status == http.StatusRequestTimeout {
+					res.agent.Timeouts++
+					continue
+				}
+				res.waits = append(res.waits, time.Since(t0))
+				res.agent.Grants++
+				if cfg.Hold > 0 {
+					time.Sleep(cfg.Hold)
+				}
+				if err := releaseOnce(client, base, cfg.Resource, lease.Token); err != nil {
+					res.err = err
+					return
+				}
+			}
+			res.agent.Elapsed = time.Since(agentStart)
+		}(id)
+	}
+	wg.Wait()
+
+	rep := &LoadReport{Agents: make([]AgentLoad, cfg.Agents), Elapsed: time.Since(start)}
+	var pooled []time.Duration
+	minTP, maxTP := 0.0, 0.0
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		a := results[i].agent
+		if a.Elapsed > 0 {
+			a.Throughput = float64(a.Grants) / a.Elapsed.Seconds()
+		}
+		a.WaitP50 = durQuantile(results[i].waits, 0.50)
+		a.WaitP90 = durQuantile(results[i].waits, 0.90)
+		a.WaitMax = durQuantile(results[i].waits, 1.0)
+		rep.Agents[i] = a
+		pooled = append(pooled, results[i].waits...)
+		if i == 0 || a.Throughput < minTP {
+			minTP = a.Throughput
+		}
+		if i == 0 || a.Throughput > maxTP {
+			maxTP = a.Throughput
+		}
+	}
+	if maxTP > 0 {
+		rep.BandwidthRatio = minTP / maxTP
+	}
+	rep.WaitP50 = durQuantile(pooled, 0.50)
+	rep.WaitP90 = durQuantile(pooled, 0.90)
+	rep.WaitMax = durQuantile(pooled, 1.0)
+	return rep, nil
+}
+
+// acquireOnce performs one acquire; a 408 is a reported non-grant, any
+// other non-200 status is an error.
+func acquireOnce(client *http.Client, base, resource string, agent int, timeout time.Duration) (Lease, int, error) {
+	v := url.Values{}
+	v.Set("resource", resource)
+	v.Set("agent", fmt.Sprintf("%d", agent))
+	if timeout > 0 {
+		v.Set("timeout", timeout.String())
+	}
+	resp, err := client.Post(base+"/v1/acquire?"+v.Encode(), "", nil)
+	if err != nil {
+		return Lease{}, 0, fmt.Errorf("arbload: acquire: %v", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var lease Lease
+		if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+			return Lease{}, 0, fmt.Errorf("arbload: bad acquire response: %v", err)
+		}
+		return lease, resp.StatusCode, nil
+	case http.StatusRequestTimeout:
+		io.Copy(io.Discard, resp.Body)
+		return Lease{}, resp.StatusCode, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return Lease{}, resp.StatusCode, fmt.Errorf("arbload: acquire got %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+}
+
+// releaseOnce performs one release.
+func releaseOnce(client *http.Client, base, resource, token string) error {
+	v := url.Values{}
+	v.Set("resource", resource)
+	v.Set("token", token)
+	resp, err := client.Post(base+"/v1/release?"+v.Encode(), "", nil)
+	if err != nil {
+		return fmt.Errorf("arbload: release: %v", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("arbload: release got %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// durQuantile returns the q-quantile (nearest-rank) of the samples.
+func durQuantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// WriteReport renders the report as the arbload CLI's output.
+func (r *LoadReport) WriteReport(w io.Writer, cfg LoadConfig) error {
+	if _, err := fmt.Fprintf(w, "arbload: %d agents x %d requests on %q (%.2fs)\n",
+		cfg.Agents, cfg.Requests, cfg.Resource, r.Elapsed.Seconds()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %5s %8s %9s %11s %10s %10s %10s\n",
+		"agent", "grants", "timeouts", "grants/s", "Wp50", "Wp90", "Wmax"); err != nil {
+		return err
+	}
+	for i, a := range r.Agents {
+		if _, err := fmt.Fprintf(w, "  %5d %8d %9d %11.2f %10s %10s %10s\n",
+			i+1, a.Grants, a.Timeouts, a.Throughput,
+			a.WaitP50.Round(time.Microsecond), a.WaitP90.Round(time.Microsecond),
+			a.WaitMax.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "bandwidth ratio t_N/t_1 = %.3f (1.0 is perfectly fair); pooled Wp50=%s Wp90=%s Wmax=%s\n",
+		r.BandwidthRatio, r.WaitP50.Round(time.Microsecond),
+		r.WaitP90.Round(time.Microsecond), r.WaitMax.Round(time.Microsecond))
+	return err
+}

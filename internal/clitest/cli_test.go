@@ -5,11 +5,14 @@
 package clitest
 
 import (
+	"bufio"
 	"os/exec"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildCmds compiles the CLI binaries once into a temp dir and returns
@@ -28,7 +31,7 @@ func buildCmds(t *testing.T) map[string]string {
 		t.Fatalf("building CLIs: %v\n%s", err, out)
 	}
 	bins := map[string]string{}
-	for _, name := range []string{"paper", "arbsim", "arbtrace", "arbverify", "benchjson"} {
+	for _, name := range []string{"paper", "arbsim", "arbtrace", "arbverify", "benchjson", "arbd", "arbload"} {
 		bins[name] = filepath.Join(dir, name)
 	}
 	return bins
@@ -84,7 +87,16 @@ func TestCLIFailurePathsExitNonZero(t *testing.T) {
 		{"arbverify refuted bound", "arbverify", []string{"-protocol", "FP", "-n", "3", "-bound", "2"}, "", 1, ""},
 		{"benchjson empty stdin", "benchjson", nil, " ", 1, "no benchmark lines"},
 		{"benchjson malformed input", "benchjson", nil, "BenchmarkX abc 5 ns/op\n", 1, "bad iteration count"},
+		{"arbd malformed resource spec", "arbd", []string{"-resources", "busRR1"}, "", 1, "bad resource spec"},
+		{"arbd bad agent count", "arbd", []string{"-resources", "bus:ten:RR1"}, "", 1, "bad agent count"},
+		{"arbd empty resource list", "arbd", []string{"-resources", " , "}, "", 1, "names no resources"},
+		{"arbd unknown protocol", "arbd", []string{"-resources", "bus:4:BOGUS"}, "", 1, "unknown protocol"},
+		{"arbd unlistenable address", "arbd", []string{"-addr", "256.0.0.1:0", "-resources", "bus:2:RR1"}, "", 1, ""},
+		{"arbload unreachable daemon", "arbload", []string{"-addr", "http://127.0.0.1:1", "-resource", "bus", "-agents", "1", "-requests", "1"}, "", 1, "acquire"},
+		{"arbload bad agent count", "arbload", []string{"-agents", "0"}, "", 1, "at least 1 agent"},
 		{"flag parse errors keep the flag convention", "arbsim", []string{"-nosuchflag"}, "", 2, "flag provided but not defined"},
+		{"arbd flag convention", "arbd", []string{"-nosuchflag"}, "", 2, "flag provided but not defined"},
+		{"arbload flag convention", "arbload", []string{"-nosuchflag"}, "", 2, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -156,6 +168,70 @@ func TestBenchJSONStampReproducible(t *testing.T) {
 	}
 	if !strings.Contains(dated, "2026-01-02") {
 		t.Errorf("-date override missing from output:\n%s", dated)
+	}
+}
+
+// TestArbdLifecycle pins the daemon's process contract end to end: it
+// announces its listen address on stdout, serves a real arbload run,
+// and a SIGTERM is a clean exit 0.
+func TestArbdLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a real daemon")
+	}
+	bins := buildCmds(t)
+
+	daemon := exec.Command(bins["arbd"],
+		"-addr", "127.0.0.1:0", "-resources", "bus:4:RR1,disk:2:FCFS2", "-tick", "200us")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr strings.Builder
+	daemon.Stderr = &stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill() // no-op after a clean Wait
+
+	// The first stdout line carries the bound address.
+	lines := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for lines.Scan() {
+			line := lines.Text()
+			if rest, ok := strings.CutPrefix(line, "arbd: listening on "); ok {
+				addrCh <- rest
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never announced its address (stderr: %s)", stderr.String())
+	}
+
+	code, out := runStdout(t, bins["arbload"],
+		"", "-addr", "http://"+addr, "-resource", "bus", "-agents", "3", "-requests", "5")
+	if code != 0 {
+		t.Fatalf("arbload exited %d against a live daemon", code)
+	}
+	if !strings.Contains(out, "bandwidth ratio t_N/t_1") {
+		t.Errorf("arbload report missing the bandwidth ratio line:\n%s", out)
+	}
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- daemon.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Errorf("SIGTERM exit: %v (want clean exit 0; stderr: %s)", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit within 10s of SIGTERM")
 	}
 }
 

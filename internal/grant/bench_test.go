@@ -1,0 +1,36 @@
+package grant
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkGrantResolve measures one saturated grant through the
+// wired-OR resolution — the arbd shard loop's per-tick cost — for each
+// protocol. The hot path is alloc-guarded (TestSteadyStateAllocs pins
+// 0); ReportAllocs keeps the trajectory honest in BENCH_*.json.
+func BenchmarkGrantResolve(b *testing.B) {
+	for _, name := range Names() {
+		for _, n := range []int{8, 32} {
+			f, err := ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				s := f(n)
+				for id := 1; id <= n; id++ {
+					s.Enqueue(id)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w := s.Resolve()
+					if w == 0 {
+						b.Fatal("empty resolve at saturation")
+					}
+					s.Enqueue(w) // closed loop: winner re-requests
+				}
+			})
+		}
+	}
+}

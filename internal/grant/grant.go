@@ -1,0 +1,421 @@
+// Package grant re-hosts the paper's arbitration protocols (§3) as
+// real-time grant schedulers: the same bit-level arbitration the
+// simulators model in simulated time, driving grants of real shared
+// resources in wall-clock time (the arbd daemon's shard loops).
+//
+// A Scheduler is the request-line side of one bus: Enqueue(agent)
+// asserts agent's request line, Resolve() runs one parallel contention
+// arbitration among the asserted lines and grants the winner. Every
+// scheduler resolves through internal/contention's wired-OR settle
+// model — not a shortcut comparison — so the bit-level semantics
+// (composite arbitration numbers, maximum-finding, RR3's empty-pass
+// re-arbitration) stay identical to the simulators. Property tests pin
+// each scheduler's winner sequence against its internal/core simulator
+// counterpart on identical arrival traces.
+//
+// Schedulers are single-goroutine, like core.Protocol: the owner (one
+// shard loop) serializes Enqueue and Resolve. Enqueue and Resolve are
+// allocation-free in steady state (guarded by tests and by
+// BenchmarkGrantResolve's ReportAllocs).
+package grant
+
+import (
+	"fmt"
+	"sort"
+
+	"busarb/internal/contention"
+	"busarb/internal/ident"
+)
+
+// Scheduler is a real-time grant scheduler for one shared resource
+// with agents 1..N.
+type Scheduler interface {
+	// Name returns the protocol's short name ("RR1", "FCFS2", ...).
+	Name() string
+	// N returns the number of agents the instance was built for.
+	N() int
+	// Enqueue asserts agent's request line. It reports whether the
+	// line was newly asserted; enqueueing an already-pending agent is
+	// a no-op returning false (one outstanding request per agent, the
+	// paper's model — callers queue excess requests behind the line).
+	// Enqueue panics on an agent outside 1..N.
+	Enqueue(agent int) bool
+	// Resolve runs one arbitration among the pending agents and
+	// returns the winner's identity, removing it from the pending set
+	// (the winner assumes resource mastership). It returns 0 when no
+	// agent is pending — the idle bus, where no arbitration starts.
+	Resolve() int
+	// Pending returns the number of asserted request lines.
+	Pending() int
+	// Reset restores initial state (pending lines and protocol
+	// registers cleared).
+	Reset()
+}
+
+// Factory builds a scheduler for an n-agent resource.
+type Factory func(n int) Scheduler
+
+// Repasser is implemented by schedulers whose resolutions can include
+// empty passes charged as extra arbitrations (RR3 §3.1). The counter
+// is cumulative across Resolve calls.
+type Repasser interface {
+	Repasses() int64
+}
+
+// base carries the state every scheduler shares: the pending request
+// lines and the wired-OR contention arbiter the resolution runs on.
+type base struct {
+	n       int
+	layout  ident.Layout
+	arb     *contention.Arbitration
+	pending []bool // indexed by agent identity; [0] unused
+	npend   int
+	comps   []contention.Competitor // scratch, reused across Resolve calls
+}
+
+func newBase(n int, layout ident.Layout) base {
+	if n < 1 {
+		panic(fmt.Sprintf("grant: need at least 1 agent, got %d", n))
+	}
+	return base{
+		n:      n,
+		layout: layout,
+		// Agent identities drive the bank directly, so it needs n+1
+		// driver slots (identity 0 is reserved, §2.1).
+		arb:     contention.New(layout.TotalBits(), n+1),
+		pending: make([]bool, n+1),
+		comps:   make([]contention.Competitor, 0, n),
+	}
+}
+
+func (b *base) N() int       { return b.n }
+func (b *base) Pending() int { return b.npend }
+
+func (b *base) enqueue(agent int) bool {
+	if agent < 1 || agent > b.n {
+		panic(fmt.Sprintf("grant: agent %d out of range 1..%d", agent, b.n))
+	}
+	if b.pending[agent] {
+		return false
+	}
+	b.pending[agent] = true
+	b.npend++
+	return true
+}
+
+func (b *base) reset() {
+	for i := range b.pending {
+		b.pending[i] = false
+	}
+	b.npend = 0
+}
+
+// resolve runs one wired-OR arbitration among the pending agents that
+// satisfy eligible (nil means all), encoding each competitor's
+// arbitration number with encode. It returns 0 if no agent competed;
+// otherwise the winner is removed from the pending set.
+func (b *base) resolve(eligible func(id int) bool, encode func(id int) uint64) int {
+	comps := b.comps[:0]
+	for id := 1; id <= b.n; id++ {
+		if b.pending[id] && (eligible == nil || eligible(id)) {
+			comps = append(comps, contention.Competitor{Agent: id, Number: encode(id)})
+		}
+	}
+	b.comps = comps
+	if len(comps) == 0 {
+		return 0
+	}
+	res := b.arb.Run(comps)
+	w := comps[res.Winner].Agent
+	b.pending[w] = false
+	b.npend--
+	return w
+}
+
+// ---------------------------------------------------------------------
+// Fixed priority (§2.1): the raw parallel contention arbiter.
+
+// FP grants the highest pending static identity: maximally unfair
+// under load, the baseline the paper's protocols fix (Table 4.1).
+type FP struct{ base }
+
+// NewFP returns a fixed-priority scheduler for n agents.
+func NewFP(n int) *FP {
+	return &FP{base: newBase(n, ident.LayoutFor(n))}
+}
+
+// Name implements Scheduler.
+func (s *FP) Name() string { return "FP" }
+
+// Enqueue implements Scheduler.
+func (s *FP) Enqueue(agent int) bool { return s.enqueue(agent) }
+
+// Resolve implements Scheduler.
+func (s *FP) Resolve() int {
+	return s.resolve(nil, func(id int) uint64 {
+		return s.layout.Encode(ident.Number{Static: id})
+	})
+}
+
+// Reset implements Scheduler.
+func (s *FP) Reset() { s.reset() }
+
+// ---------------------------------------------------------------------
+// RR1 (§3.1, first implementation): the round-robin priority bit.
+
+// RR1 adds one arbitration line carrying the round-robin bit: an agent
+// asserts it when its identity is below the recorded previous winner,
+// which realizes the scan j-1..1, N..j.
+type RR1 struct {
+	base
+	lastWinner int
+}
+
+// NewRR1 returns the round-robin-priority-bit scheduler for n agents.
+// The winner register starts at 0, so the first grant degenerates to
+// fixed priority, exactly like hardware out of reset.
+func NewRR1(n int) *RR1 {
+	return &RR1{base: newBase(n, ident.Layout{StaticBits: ident.Width(n), RRBit: true})}
+}
+
+// Name implements Scheduler.
+func (s *RR1) Name() string { return "RR1" }
+
+// LastWinner returns the recorded identity of the most recent winner.
+func (s *RR1) LastWinner() int { return s.lastWinner }
+
+// Enqueue implements Scheduler.
+func (s *RR1) Enqueue(agent int) bool { return s.enqueue(agent) }
+
+// Resolve implements Scheduler.
+func (s *RR1) Resolve() int {
+	w := s.resolve(nil, func(id int) uint64 {
+		return s.layout.Encode(ident.Number{Static: id, RR: id < s.lastWinner})
+	})
+	if w != 0 {
+		s.lastWinner = w
+	}
+	return w
+}
+
+// Reset implements Scheduler.
+func (s *RR1) Reset() { s.reset(); s.lastWinner = 0 }
+
+// ---------------------------------------------------------------------
+// RR3 (§3.1, third implementation): no extra line, occasional repass.
+
+// RR3 inhibits agents at or above the previous winner; an empty pass
+// (winning identity zero) makes every agent record N+1 and re-arbitrate
+// immediately. Resolve folds the repass in — the caller sees one grant
+// — and counts it, so the arbd loop can surface the extra arbitration
+// the paper charges for.
+type RR3 struct {
+	base
+	lastWinner int
+	repasses   int64
+}
+
+// NewRR3 returns the no-extra-line scheduler for n agents. The winner
+// register starts at 0, so the very first resolution is an empty pass.
+func NewRR3(n int) *RR3 {
+	return &RR3{base: newBase(n, ident.LayoutFor(n))}
+}
+
+// Name implements Scheduler.
+func (s *RR3) Name() string { return "RR3" }
+
+// LastWinner returns the recorded winner identity (N+1 right after an
+// empty pass).
+func (s *RR3) LastWinner() int { return s.lastWinner }
+
+// Repasses implements Repasser.
+func (s *RR3) Repasses() int64 { return s.repasses }
+
+// Enqueue implements Scheduler.
+func (s *RR3) Enqueue(agent int) bool { return s.enqueue(agent) }
+
+// Resolve implements Scheduler.
+func (s *RR3) Resolve() int {
+	if s.npend == 0 {
+		return 0
+	}
+	encode := func(id int) uint64 {
+		return s.layout.Encode(ident.Number{Static: id})
+	}
+	w := s.resolve(func(id int) bool { return id < s.lastWinner }, encode)
+	if w == 0 {
+		// Empty pass: every agent records N+1, a fresh uninhibited
+		// arbitration follows at once (§3.1).
+		s.lastWinner = s.n + 1
+		s.repasses++
+		w = s.resolve(func(id int) bool { return id < s.lastWinner }, encode)
+	}
+	s.lastWinner = w
+	return w
+}
+
+// Reset implements Scheduler.
+func (s *RR3) Reset() { s.reset(); s.lastWinner = 0; s.repasses = 0 }
+
+// ---------------------------------------------------------------------
+// FCFS1 (§3.2): waiting-time counter incremented on each lost
+// arbitration.
+
+// FCFS1 prepends a per-agent counter, incremented each time the agent
+// loses an arbitration and cleared on enqueue and on a win, to the
+// static identity. With one outstanding request per agent the counter
+// never exceeds N-1, so ceil(log2 N) bits suffice (§3.2).
+type FCFS1 struct {
+	base
+	counter []int
+	max     int
+}
+
+// NewFCFS1 returns the lose-counting FCFS scheduler for n agents.
+func NewFCFS1(n int) *FCFS1 {
+	w := ident.Width(n)
+	return &FCFS1{
+		base:    newBase(n, ident.Layout{StaticBits: ident.Width(n), CounterBits: w}),
+		counter: make([]int, n+1),
+		max:     1<<w - 1,
+	}
+}
+
+// Name implements Scheduler.
+func (s *FCFS1) Name() string { return "FCFS1" }
+
+// Counter returns agent id's waiting-time counter (for tests).
+func (s *FCFS1) Counter(id int) int { return s.counter[id] }
+
+// Enqueue implements Scheduler: a new request starts with counter 0.
+func (s *FCFS1) Enqueue(agent int) bool {
+	if !s.enqueue(agent) {
+		return false
+	}
+	s.counter[agent] = 0
+	return true
+}
+
+// Resolve implements Scheduler.
+func (s *FCFS1) Resolve() int {
+	w := s.resolve(nil, func(id int) uint64 {
+		return s.layout.Encode(ident.Number{Static: id, Counter: s.counter[id]})
+	})
+	if w == 0 {
+		return 0
+	}
+	// "Lose" increments (saturating); the winner's counter is cleared.
+	s.counter[w] = 0
+	for id := 1; id <= s.n; id++ {
+		if s.pending[id] && s.counter[id] < s.max {
+			s.counter[id]++
+		}
+	}
+	return w
+}
+
+// Reset implements Scheduler.
+func (s *FCFS1) Reset() {
+	s.reset()
+	for i := range s.counter {
+		s.counter[i] = 0
+	}
+}
+
+// ---------------------------------------------------------------------
+// FCFS2 (§3.2): the a-incr pulse on each arrival.
+
+// FCFS2 counts arrivals instead of losses: each Enqueue pulses the
+// shared a-incr line and every already-waiting agent increments its
+// counter, so the counter ranks requests by arrival order exactly. In
+// wall-clock serving each Enqueue is its own pulse — two requests
+// share a counter value only if the daemon observed them in the same
+// already-resolved state, the network analogue of §3.2's propagation
+// window.
+type FCFS2 struct {
+	base
+	counter []int
+	max     int
+}
+
+// NewFCFS2 returns the a-incr FCFS scheduler for n agents. The counter
+// needs only ceil(log2 N) bits: with one outstanding request per
+// agent, at most N-1 pulses can precede this agent's grant.
+func NewFCFS2(n int) *FCFS2 {
+	w := ident.Width(n)
+	return &FCFS2{
+		base:    newBase(n, ident.Layout{StaticBits: ident.Width(n), CounterBits: w}),
+		counter: make([]int, n+1),
+		max:     1<<w - 1,
+	}
+}
+
+// Name implements Scheduler.
+func (s *FCFS2) Name() string { return "FCFS2" }
+
+// Counter returns agent id's waiting-time counter (for tests).
+func (s *FCFS2) Counter(id int) int { return s.counter[id] }
+
+// Enqueue implements Scheduler: the newcomer pulses a-incr.
+func (s *FCFS2) Enqueue(agent int) bool {
+	if agent < 1 || agent > s.n {
+		panic(fmt.Sprintf("grant: agent %d out of range 1..%d", agent, s.n))
+	}
+	if s.pending[agent] {
+		return false
+	}
+	for id := 1; id <= s.n; id++ {
+		if s.pending[id] && s.counter[id] < s.max {
+			s.counter[id]++
+		}
+	}
+	s.counter[agent] = 0
+	s.pending[agent] = true
+	s.npend++
+	return true
+}
+
+// Resolve implements Scheduler.
+func (s *FCFS2) Resolve() int {
+	return s.resolve(nil, func(id int) uint64 {
+		return s.layout.Encode(ident.Number{Static: id, Counter: s.counter[id]})
+	})
+}
+
+// Reset implements Scheduler.
+func (s *FCFS2) Reset() {
+	s.reset()
+	for i := range s.counter {
+		s.counter[i] = 0
+	}
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+
+var factories = map[string]Factory{
+	"FP":    func(n int) Scheduler { return NewFP(n) },
+	"RR1":   func(n int) Scheduler { return NewRR1(n) },
+	"RR3":   func(n int) Scheduler { return NewRR3(n) },
+	"FCFS1": func(n int) Scheduler { return NewFCFS1(n) },
+	"FCFS2": func(n int) Scheduler { return NewFCFS2(n) },
+}
+
+// ByName returns the factory for a protocol name, or an error naming
+// the valid choices.
+func ByName(name string) (Factory, error) {
+	if f, ok := factories[name]; ok {
+		return f, nil
+	}
+	return nil, fmt.Errorf("grant: unknown protocol %q (have %v)", name, Names())
+}
+
+// Names returns the registered protocol names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(factories))
+	for name := range factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,43 @@
+package obs
+
+import "sync"
+
+// Synchronized wraps a probe for use across goroutines. The built-in
+// consumers in this package (Metrics, Counter, Filter, TextWriter —
+// everything except Buffer) assume the simulators' single-goroutine
+// event loop and carry no internal locking; Synchronized adds the
+// mutex at the seam for callers, like the arbd shard loops, whose
+// events are produced on one goroutine but whose consumers are also
+// read from HTTP handler goroutines.
+//
+// The zero-cost contract is unaffected: simulators still guard
+// emissions with a nil-Observer check, and a Synchronized probe is
+// only paid for when one is installed.
+func Synchronized(p Probe) *SynchronizedProbe {
+	return &SynchronizedProbe{p: p}
+}
+
+// SynchronizedProbe is a Probe whose OnEvent holds a mutex, plus a Do
+// hook for reading the wrapped consumer's state under the same mutex.
+type SynchronizedProbe struct {
+	mu sync.Mutex
+	p  Probe
+}
+
+// OnEvent implements Probe: it forwards under the lock.
+func (s *SynchronizedProbe) OnEvent(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.p.OnEvent(e)
+}
+
+// Do runs f while holding the probe's mutex, excluding concurrent
+// OnEvent calls. Readers use it to take consistent snapshots of the
+// wrapped consumer (e.g. Metrics windows or Counter tallies) while the
+// producing loop keeps running; f must not call OnEvent or Do on the
+// same probe.
+func (s *SynchronizedProbe) Do(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+}

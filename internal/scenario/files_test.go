@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedScenariosValidate loads every scenario shipped in the
+// repository's scenarios/ directory — dispatching exactly the way
+// arbsim -scenario does — and asserts it parses and validates: the
+// example files are part of the documented surface, so a schema change
+// that strands one is a break, not doc rot.
+func TestShippedScenariosValidate(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no shipped scenarios found under scenarios/")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if IsMachineFile(raw) {
+				mf, err := LoadMachine(bytes.NewReader(raw))
+				if err != nil {
+					t.Fatalf("loading machine scenario: %v", err)
+				}
+				if err := mf.Validate(); err != nil {
+					t.Errorf("shipped machine scenario does not validate: %v", err)
+				}
+				return
+			}
+			f, err := Load(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("loading: %v", err)
+			}
+			if err := f.Validate(); err != nil {
+				t.Errorf("shipped scenario does not validate: %v", err)
+			}
+			if f.N() < 2 {
+				t.Errorf("scenario has %d agents; arbitration needs at least 2", f.N())
+			}
+		})
+	}
+}
