@@ -51,6 +51,20 @@ func BenchmarkTable41_64Agents(b *testing.B) {
 	}
 }
 
+// BenchmarkTable41_1024Agents runs Table 4.1 at the kernel-scale agent
+// count the bit-parallel arbitration kernel unlocked (ROADMAP item 1 of
+// PR 5) — far past the former ~64-agent practical ceiling. Reduced
+// batch effort keeps an iteration well under a second.
+func BenchmarkTable41_1024Agents(b *testing.B) {
+	opts := ExperimentOpts{
+		Batches: 3, BatchSize: 1000, Seed: 1988,
+		Parallel: runtime.GOMAXPROCS(0),
+	}
+	for i := 0; i < b.N; i++ {
+		Table41(1024, false, opts)
+	}
+}
+
 func BenchmarkTable42_10Agents(b *testing.B) {
 	var peak float64
 	for i := 0; i < b.N; i++ {

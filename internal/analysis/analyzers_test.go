@@ -43,8 +43,10 @@ func TestAnalyzerScope(t *testing.T) {
 		{analysis.Determinism, "busarb/internal/report", false},
 		{analysis.Determinism, "busarb/internal/obs", false},
 		{analysis.Determinism, "busarb/internal/grant", true},
+		{analysis.Determinism, "busarb/internal/bitarb", true},
 		{analysis.Determinism, "busarb/internal/arbd", false},
 		{analysis.NilProbe, "busarb/internal/grant", true},
+		{analysis.NilProbe, "busarb/internal/bitarb", true},
 		{analysis.NilProbe, "busarb/internal/arbd", false},
 		{analysis.NilProbe, "busarb/internal/cyclesim", true},
 		{analysis.NilProbe, "busarb/internal/obs", false},

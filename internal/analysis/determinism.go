@@ -20,6 +20,9 @@ var simPackagePaths = []string{
 	"internal/contention",
 	"internal/core",
 	"internal/wiredor",
+	// The bit-parallel arbitration kernel every hot path resolves
+	// through: a nondeterminism here would skew every protocol at once.
+	"internal/bitarb",
 	// grant re-hosts the protocols as real-time schedulers; the protocol
 	// state machines themselves must stay as deterministic as core's.
 	// (internal/arbd is deliberately absent: its shard loops are

@@ -1,0 +1,39 @@
+package bussim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKernelScaleRuns exercises the simulator at the agent counts the
+// bit-parallel kernel unlocked (ROADMAP item 1): 1024 and 4096 agents,
+// far past the former ~64-agent practical ceiling. The runs must stay
+// deterministic and produce sane closed-loop throughput for each
+// kernel-hosted protocol.
+func TestKernelScaleRuns(t *testing.T) {
+	ns := []int{1024}
+	if !testing.Short() {
+		ns = append(ns, 4096)
+	}
+	for _, n := range ns {
+		for _, proto := range []string{"FP", "RR1", "RR3", "FCFS1", "FCFS2"} {
+			t.Run(fmt.Sprintf("%s/n=%d", proto, n), func(t *testing.T) {
+				cfg := quickCfg(n, proto, 2.5, 1.0, 11)
+				cfg.Batches, cfg.BatchSize = 3, 1500
+				a := Run(cfg)
+				if a.Throughput.Mean <= 0 {
+					t.Fatalf("throughput %v, want > 0", a.Throughput.Mean)
+				}
+				// Offered load 2.5 saturates the bus; the closed loop
+				// must run near capacity (1 completion per unit time).
+				if a.Throughput.Mean < 0.9 || a.Throughput.Mean > 1.01 {
+					t.Errorf("saturated throughput = %v, want ~1", a.Throughput.Mean)
+				}
+				b := Run(cfg)
+				if a.WaitMean.Mean != b.WaitMean.Mean || a.Throughput.Mean != b.Throughput.Mean {
+					t.Error("identical seeds produced different results at scale")
+				}
+			})
+		}
+	}
+}

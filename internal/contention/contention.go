@@ -7,10 +7,15 @@
 //
 // Two models are provided:
 //
-//   - Arbitration: a synchronous-round simulation of the settle process
-//     on real wired-OR lines (package wiredor), which records how many
-//     rounds the lines took to settle. This validates the distributed
-//     maximum-finding that every protocol in this repository relies on.
+//   - Arbitration: a synchronous-round simulation of the settle process,
+//     which records how many rounds the lines took to settle. This
+//     validates the distributed maximum-finding that every protocol in
+//     this repository relies on. Run executes the settle word-wide —
+//     each agent's applied pattern is one uint64 and a round is a
+//     handful of mask operations per agent — while RunSettle/RunTraced
+//     keep the original line-by-line boolean model on real wired-OR
+//     lines (package wiredor) as the oracle: tests require both to
+//     produce bit-identical winners, winning numbers, and round counts.
 //   - BinaryPatterned: the Johnson (US patent 4,375,639) single-pass
 //     comparator scheme (§2.1), which is faster but does not broadcast
 //     the winner's identity — which is why the RR protocols cannot use
@@ -19,6 +24,7 @@ package contention
 
 import (
 	"fmt"
+	"math/bits"
 
 	"busarb/internal/wiredor"
 )
@@ -47,62 +53,146 @@ type Result struct {
 }
 
 // Arbitration is a reusable line-level arbiter for a fixed line width and
-// agent count.
+// agent count. Width is limited to 64 lines so an arbitration number is
+// exactly one machine word; wider identities have no hardware analogue
+// here (the paper's k = ceil(log2(N+1)) stays far below it).
 type Arbitration struct {
 	bank  *wiredor.Bank
 	width int
 	// maxRounds bounds the settle loop; Taub proves settling within
 	// ~k/2 end-to-end delays, so 4k+4 synchronous rounds is generous.
 	maxRounds int
-	// Scratch buffers reused across Run calls so the settle loop is
-	// allocation free in steady state. bits holds the competitors'
-	// identity bit patterns back to back (width bits per competitor);
-	// lines and applied are one-row working copies.
-	bits    []bool
-	lines   []bool
-	applied []bool
+	// Word-wide settle state (Run): each competitor's applied pattern
+	// is one uint64, reused across calls.
+	applied []uint64
+	// Boolean settle state (RunSettle/RunTraced): bits holds the
+	// competitors' identity bit patterns back to back (width bits per
+	// competitor); lines and lineApplied are one-row working copies.
+	bits        []bool
+	lines       []bool
+	lineApplied []bool
 }
 
 // New creates an arbiter with the given line width (bits per arbitration
-// number) and number of attached agents.
+// number, 1..64) and number of attached agents.
 func New(width, agents int) *Arbitration {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("contention: width %d out of range 1..64 (one arbitration number per machine word)", width))
+	}
 	return &Arbitration{
-		bank:      wiredor.NewBank("AB", width, agents),
-		width:     width,
-		maxRounds: 4*width + 4,
-		lines:     make([]bool, width),
-		applied:   make([]bool, width),
+		bank:        wiredor.NewBank("AB", width, agents),
+		width:       width,
+		maxRounds:   4*width + 4,
+		lines:       make([]bool, width),
+		lineApplied: make([]bool, width),
 	}
 }
 
 // Width returns the number of arbitration lines.
 func (a *Arbitration) Width() int { return a.width }
 
+// checkNumbers panics if any competitor's number does not fit the
+// arbiter's lines. The check is shift-based so it cannot wrap at
+// width 64 (a `1 << 64` bound would overflow to 0 and reject
+// everything).
+func (a *Arbitration) checkNumbers(comps []Competitor) {
+	for _, c := range comps {
+		if c.Number>>uint(a.width) != 0 {
+			panic(fmt.Sprintf("contention: number %b exceeds %d lines", c.Number, a.width))
+		}
+	}
+}
+
 // Run performs one arbitration among the competitors and returns the
 // settled result. Numbers must fit in the arbiter's width. Run panics if
 // the lines fail to settle within the round bound, which would indicate a
 // bug in the settle model (Taub proved convergence).
+//
+// Run is the word-wide fast path: one uint64 per competitor, a few mask
+// operations per agent per round. It reproduces the boolean wired-OR
+// settle of RunSettle exactly — same winner, same winning number, same
+// round count — which the equivalence tests and the FuzzKernelMatchesSettle
+// target pin.
 func (a *Arbitration) Run(comps []Competitor) Result {
-	r, _ := a.run(comps, false)
+	if len(comps) == 0 {
+		return Result{Winner: -1, WinningNumber: 0, Rounds: 0}
+	}
+	a.checkNumbers(comps)
+
+	// Initial state: every agent applies its full identity.
+	if cap(a.applied) < len(comps) {
+		a.applied = make([]uint64, len(comps))
+	}
+	applied := a.applied[:len(comps)]
+	lines := uint64(0)
+	for i, c := range comps {
+		applied[i] = c.Number
+		lines |= c.Number
+	}
+
+	rounds := 0
+	for ; rounds < a.maxRounds; rounds++ {
+		// All agents observe the same settled line state (one
+		// end-to-end propagation), then update what they apply.
+		snapshot := lines
+		changed := false
+		lines = 0
+		for i, c := range comps {
+			// §2.1 monitoring rule, word-wide: conflict has a 1 on every
+			// line carrying "1" where this identity has "0". The agent
+			// keeps its bits above the most significant conflict and
+			// removes that bit and everything below it; with no conflict
+			// it applies (or reapplies) the full identity.
+			next := c.Number
+			if conflict := snapshot &^ c.Number; conflict != 0 {
+				cut := bits.Len64(conflict) - 1
+				next = c.Number &^ (^uint64(0) >> uint(63-cut))
+			}
+			if next != applied[i] {
+				changed = true
+			}
+			applied[i] = next
+			lines |= next
+		}
+		if !changed {
+			lines = snapshot
+			break
+		}
+	}
+	if rounds == a.maxRounds {
+		panic("contention: arbitration lines failed to settle (model bug)")
+	}
+
+	winner := -1
+	for i, c := range comps {
+		if c.Number == lines {
+			winner = i
+			break
+		}
+	}
+	return Result{Winner: winner, WinningNumber: lines, Rounds: rounds}
+}
+
+// RunSettle performs the arbitration on the boolean wired-OR line model
+// (package wiredor), scanning agents and lines one bool at a time. It is
+// the oracle the word-wide Run is validated against; production paths
+// use Run.
+func (a *Arbitration) RunSettle(comps []Competitor) Result {
+	r, _ := a.runSettle(comps, false)
 	return r
 }
 
-// RunTraced is Run plus a per-round snapshot of the arbitration lines
-// (MSB first), for visualizing the settle process.
+// RunTraced is RunSettle plus a per-round snapshot of the arbitration
+// lines (MSB first), for visualizing the settle process.
 func (a *Arbitration) RunTraced(comps []Competitor) (Result, [][]bool) {
-	return a.run(comps, true)
+	return a.runSettle(comps, true)
 }
 
-func (a *Arbitration) run(comps []Competitor, trace bool) (Result, [][]bool) {
+func (a *Arbitration) runSettle(comps []Competitor, trace bool) (Result, [][]bool) {
 	if len(comps) == 0 {
 		return Result{Winner: -1, WinningNumber: 0, Rounds: 0}, nil
 	}
-	limit := uint64(1) << uint(a.width)
-	for _, c := range comps {
-		if c.Number >= limit {
-			panic(fmt.Sprintf("contention: number %b exceeds %d lines", c.Number, a.width))
-		}
-	}
+	a.checkNumbers(comps)
 	a.bank.ReleaseAll()
 
 	// Each agent's view: the MSB-first bits of its identity, and the
@@ -127,7 +217,7 @@ func (a *Arbitration) run(comps []Competitor, trace bool) (Result, [][]bool) {
 		changed := false
 		for i, c := range comps {
 			id := a.bits[i*a.width : (i+1)*a.width]
-			applied := appliedBits(a.applied, id, lines)
+			applied := appliedBits(a.lineApplied, id, lines)
 			for j := 0; j < a.width; j++ {
 				if a.bank.Line(j).Driving(c.Agent) != applied[j] {
 					changed = true

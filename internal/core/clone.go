@@ -17,15 +17,17 @@ func (p *RR3) SetLastWinner(w int) { p.lastWinner = w }
 // Clone returns a deep copy (verification hook).
 func (p *FCFS1) Clone() *FCFS1 {
 	c := *p
-	c.counter = append([]int(nil), p.counter...)
+	c.ctr = p.ctr.Clone()
+	c.arbVec = p.arbVec.Clone()
 	return &c
 }
 
 // Clone returns a deep copy (verification hook).
 func (p *FCFS2) Clone() *FCFS2 {
 	c := *p
-	c.counter = append([]int(nil), p.counter...)
-	c.waiting = append([]bool(nil), p.waiting...)
+	c.ctr = p.ctr.Clone()
+	c.wait = p.wait.Clone()
+	c.arbVec = p.arbVec.Clone()
 	return &c
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"busarb/internal/bitarb"
 	"busarb/internal/ident"
 )
 
@@ -33,7 +34,12 @@ type FCFS1 struct {
 	n       int
 	layout  ident.Layout
 	modulus int
-	counter []int // indexed by agent id; valid while the agent waits
+	// The counters live as kernel bit-planes (bitarb.Counters): the
+	// per-arbitration lose increment is one word-parallel saturating
+	// add over the waiting bitmap, and the winner selection is the
+	// (counter, identity) plane tournament MaxIn.
+	ctr    *bitarb.Counters
+	arbVec *bitarb.Vec // scratch: the waiting set as a bitmap
 	scratch
 }
 
@@ -54,7 +60,8 @@ func NewFCFS1Bits(n, counterBits int) *FCFS1 {
 		n:       n,
 		layout:  ident.Layout{StaticBits: ident.Width(n), CounterBits: counterBits},
 		modulus: 1 << counterBits,
-		counter: make([]int, n+1),
+		ctr:     bitarb.NewCounters(counterBits, n),
+		arbVec:  bitarb.NewVec(n),
 	}
 }
 
@@ -70,40 +77,36 @@ func (p *FCFS1) Name() string {
 func (p *FCFS1) N() int { return p.n }
 
 // Counter returns agent id's current waiting-time counter (for tests).
-func (p *FCFS1) Counter(id int) int { return p.counter[id] }
+func (p *FCFS1) Counter(id int) int { return p.ctr.Get(id) }
 
 // OnRequest implements Protocol: a new request starts with counter 0.
-func (p *FCFS1) OnRequest(id int, _ float64) { p.counter[id] = 0 }
+func (p *FCFS1) OnRequest(id int, _ float64) { p.ctr.Zero(id) }
 
 // OnServiceStart implements Protocol.
 func (p *FCFS1) OnServiceStart(int, float64) {}
 
-// Arbitrate implements Protocol.
+// Arbitrate implements Protocol. The composite number is (counter,
+// static identity) lexicographically — exactly the kernel's counter
+// bit-plane tournament (MaxIn, ties toward higher identity). The lose
+// increment is one saturating word-parallel add over the losers.
 func (p *FCFS1) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := p.numsBuf(len(waiting))
-	for i, id := range waiting {
-		nums[i] = p.layout.Encode(ident.Number{Static: id, Counter: p.counter[id]})
+	v := p.arbVec
+	v.Reset()
+	for _, id := range waiting {
+		v.Set(id)
 	}
-	w := waiting[pickMax(nums)]
+	w := p.ctr.MaxIn(v)
 	// "Lose" increments (saturating at the field's maximum); "win"
 	// resets.
-	for _, id := range waiting {
-		if id == w {
-			p.counter[id] = 0
-		} else if p.counter[id] < p.modulus-1 {
-			p.counter[id]++
-		}
-	}
+	v.Clear(w)
+	p.ctr.Zero(w)
+	p.ctr.Inc(v)
 	return Outcome{Winner: w}
 }
 
 // Reset implements Protocol.
-func (p *FCFS1) Reset() {
-	for i := range p.counter {
-		p.counter[i] = 0
-	}
-}
+func (p *FCFS1) Reset() { p.ctr.Reset() }
 
 // FCFS2 is the more accurate counting strategy: an extra wired-OR line,
 // a-incr, is pulsed by an agent when it generates a new request, and
@@ -114,11 +117,16 @@ func (p *FCFS1) Reset() {
 // continuous-time model, only requests arriving at the identical instant
 // share a counter value.
 type FCFS2 struct {
-	n       int
-	layout  ident.Layout
-	counter []int
-	waiting []bool
-	lastT   float64 // time of the most recent a-incr pulse
+	n      int
+	layout ident.Layout
+	// Counters as kernel bit-planes and the waiting set as a bitmap:
+	// an a-incr pulse is one word-parallel saturating increment over
+	// the waiting agents, O(counter bits) per 64 agents instead of a
+	// per-agent scan.
+	ctr     *bitarb.Counters
+	wait    *bitarb.Vec
+	arbVec  *bitarb.Vec // scratch: the competing set as a bitmap
+	lastT   float64     // time of the most recent a-incr pulse
 	hasLast bool
 	scratch
 }
@@ -128,11 +136,13 @@ type FCFS2 struct {
 // while an agent waits (each other agent can contribute at most one
 // pulse that precedes this agent's grant).
 func NewFCFS2(n int) *FCFS2 {
+	w := ident.Width(n)
 	return &FCFS2{
-		n:       n,
-		layout:  ident.Layout{StaticBits: ident.Width(n), CounterBits: ident.Width(n)},
-		counter: make([]int, n+1),
-		waiting: make([]bool, n+1),
+		n:      n,
+		layout: ident.Layout{StaticBits: w, CounterBits: w},
+		ctr:    bitarb.NewCounters(w, n),
+		wait:   bitarb.NewVec(n),
+		arbVec: bitarb.NewVec(n),
 	}
 }
 
@@ -143,50 +153,43 @@ func (p *FCFS2) Name() string { return "FCFS2" }
 func (p *FCFS2) N() int { return p.n }
 
 // Counter returns agent id's current waiting-time counter (for tests).
-func (p *FCFS2) Counter(id int) int { return p.counter[id] }
+func (p *FCFS2) Counter(id int) int { return p.ctr.Get(id) }
 
 // OnRequest implements Protocol: the new requester pulses a-incr; every
 // already-waiting agent increments. Requests at the identical instant
 // see each other's pulse as one (they are inside the sensing window) and
-// share counter values.
+// share counter values — IncExceptZero skips the counter-0 agents that
+// arrived in the same window.
 func (p *FCFS2) OnRequest(id int, now float64) {
-	samePulse := p.hasLast && now == p.lastT
-	for a := 1; a <= p.n; a++ {
-		if p.waiting[a] {
-			if samePulse && p.counter[a] == 0 {
-				// This agent arrived in the same window; it does not
-				// count the coincident pulse.
-				continue
-			}
-			if p.counter[a] < 1<<p.layout.CounterBits-1 {
-				p.counter[a]++
-			}
-		}
+	if p.hasLast && now == p.lastT {
+		p.ctr.IncExceptZero(p.wait)
+	} else {
+		p.ctr.Inc(p.wait)
 	}
-	p.counter[id] = 0
-	p.waiting[id] = true
+	p.ctr.Zero(id)
+	p.wait.Set(id)
 	p.lastT, p.hasLast = now, true
 }
 
 // OnServiceStart implements Protocol.
-func (p *FCFS2) OnServiceStart(id int, _ float64) { p.waiting[id] = false }
+func (p *FCFS2) OnServiceStart(id int, _ float64) { p.wait.Clear(id) }
 
-// Arbitrate implements Protocol.
+// Arbitrate implements Protocol: the same (counter, identity) plane
+// tournament as FCFS1; the counters only move on a-incr pulses.
 func (p *FCFS2) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := p.numsBuf(len(waiting))
-	for i, id := range waiting {
-		nums[i] = p.layout.Encode(ident.Number{Static: id, Counter: p.counter[id]})
+	v := p.arbVec
+	v.Reset()
+	for _, id := range waiting {
+		v.Set(id)
 	}
-	return Outcome{Winner: waiting[pickMax(nums)]}
+	return Outcome{Winner: p.ctr.MaxIn(v)}
 }
 
 // Reset implements Protocol.
 func (p *FCFS2) Reset() {
-	for i := range p.counter {
-		p.counter[i] = 0
-		p.waiting[i] = false
-	}
+	p.ctr.Reset()
+	p.wait.Reset()
 	p.hasLast = false
 	p.lastT = 0
 }

@@ -137,14 +137,14 @@ func (p *FixedPriority) OnRequest(int, float64) {}
 // OnServiceStart implements Protocol.
 func (p *FixedPriority) OnServiceStart(int, float64) {}
 
-// Arbitrate implements Protocol.
+// Arbitrate implements Protocol. The composite number is the static
+// identity alone, so the settled maximum is the largest waiting
+// identity — the tail of the (sorted ascending) waiting list. No
+// encode pass is needed; this is the kernel specialization of the
+// contention maximum for the fixed-priority layout.
 func (p *FixedPriority) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := p.numsBuf(len(waiting))
-	for i, id := range waiting {
-		nums[i] = p.layout.Encode(ident.Number{Static: id})
-	}
-	return Outcome{Winner: waiting[pickMax(nums)]}
+	return Outcome{Winner: waiting[len(waiting)-1]}
 }
 
 // Reset implements Protocol.

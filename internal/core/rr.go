@@ -1,6 +1,28 @@
 package core
 
-import "busarb/internal/ident"
+import (
+	"sort"
+
+	"busarb/internal/ident"
+)
+
+// boundary returns the number of waiting identities strictly below
+// limit. waiting is sorted ascending, so this is a binary search and
+// waiting[:boundary] is the inhibited-competition segment.
+func boundary(waiting []int, limit int) int {
+	return sort.SearchInts(waiting, limit)
+}
+
+// maxBelowOrMax returns the largest waiting identity strictly below
+// limit, or the overall largest if none is. This is the round-robin
+// scan j-1..1, N..j realized as a boundary lookup on the sorted
+// waiting list.
+func maxBelowOrMax(waiting []int, limit int) int {
+	if i := boundary(waiting, limit); i > 0 {
+		return waiting[i-1]
+	}
+	return waiting[len(waiting)-1]
+}
 
 // The distributed round-robin protocol (§3.1). The scheduling rule,
 // common to all three implementations: if agent j won the previous
@@ -50,14 +72,15 @@ func (p *RR1) OnRequest(int, float64) {}
 // OnServiceStart implements Protocol.
 func (p *RR1) OnServiceStart(int, float64) {}
 
-// Arbitrate implements Protocol.
+// Arbitrate implements Protocol. The RR bit is the number's MSB, so
+// agents below the previous winner outrank everyone else: the settled
+// maximum is the largest waiting identity strictly below lastWinner,
+// falling back to the overall largest. On the sorted waiting list that
+// is the thermometer split of the kernel (bitarb.Vec.MaxBelow)
+// specialized to a boundary lookup — no encode pass.
 func (p *RR1) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	nums := p.numsBuf(len(waiting))
-	for i, id := range waiting {
-		nums[i] = p.layout.Encode(ident.Number{Static: id, RR: id < p.lastWinner})
-	}
-	w := waiting[pickMax(nums)]
+	w := maxBelowOrMax(waiting, p.lastWinner)
 	// Each agent records the winner's identity, excluding the RR bit.
 	p.lastWinner = w
 	return Outcome{Winner: w}
@@ -100,33 +123,14 @@ func (p *RR2) OnRequest(int, float64) {}
 // OnServiceStart implements Protocol.
 func (p *RR2) OnServiceStart(int, float64) {}
 
-// Arbitrate implements Protocol.
+// Arbitrate implements Protocol. The low-request line restricts the
+// competition to identities below the previous winner when any such
+// agent waits; the winner is therefore the same boundary lookup as
+// RR1's — the largest waiting identity below lastWinner, else the
+// overall largest (identical grant sequences, as the paper notes).
 func (p *RR2) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	// The wired-OR low-request line: high iff any waiting agent's
-	// identity is below the previous winner's.
-	lowRequest := false
-	for _, id := range waiting {
-		if id < p.lastWinner {
-			lowRequest = true
-			break
-		}
-	}
-	comps := waiting
-	if lowRequest {
-		comps = p.compsBuf()
-		for _, id := range waiting {
-			if id < p.lastWinner {
-				comps = append(comps, id)
-			}
-		}
-		p.keepComps(comps)
-	}
-	nums := p.numsBuf(len(comps))
-	for i, id := range comps {
-		nums[i] = p.layout.Encode(ident.Number{Static: id})
-	}
-	w := comps[pickMax(nums)]
+	w := maxBelowOrMax(waiting, p.lastWinner)
 	p.lastWinner = w
 	return Outcome{Winner: w}
 }
@@ -170,27 +174,19 @@ func (p *RR3) OnRequest(int, float64) {}
 // OnServiceStart implements Protocol.
 func (p *RR3) OnServiceStart(int, float64) {}
 
-// Arbitrate implements Protocol.
+// Arbitrate implements Protocol. Only identities below lastWinner
+// compete, so the settled maximum is the boundary lookup on the sorted
+// waiting list; an empty segment is the empty pass.
 func (p *RR3) Arbitrate(waiting []int) Outcome {
 	validateWaiting(p.n, waiting)
-	comps := p.compsBuf()
-	for _, id := range waiting {
-		if id < p.lastWinner {
-			comps = append(comps, id)
-		}
-	}
-	p.keepComps(comps)
-	if len(comps) == 0 {
+	i := boundary(waiting, p.lastWinner)
+	if i == 0 {
 		// Winning identity zero: no agent participated. Record N+1 and
 		// rerun (§3.1, third implementation).
 		p.lastWinner = p.n + 1
 		return Outcome{Repass: true}
 	}
-	nums := p.numsBuf(len(comps))
-	for i, id := range comps {
-		nums[i] = p.layout.Encode(ident.Number{Static: id})
-	}
-	w := comps[pickMax(nums)]
+	w := waiting[i-1]
 	p.lastWinner = w
 	return Outcome{Winner: w}
 }

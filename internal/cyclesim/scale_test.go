@@ -1,0 +1,33 @@
+package cyclesim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKernelScaleRuns drives the line-level model at the agent counts
+// the bit-parallel arbitration kernel unlocked: 1024 agents (and 4096
+// without -short). The contention settle at these widths runs the
+// word-wide fast path; the runs must stay deterministic and grant work.
+func TestKernelScaleRuns(t *testing.T) {
+	ns := []int{1024}
+	if !testing.Short() {
+		ns = append(ns, 4096)
+	}
+	for _, n := range ns {
+		for _, kind := range []Kind{RR1, RR3, FCFS2} {
+			t.Run(fmt.Sprintf("%v/n=%d", kind, n), func(t *testing.T) {
+				cfg := Config{Protocol: kind, N: n, Seed: 17, Horizon: 4000, ReqProb: 1}
+				a := Run(cfg)
+				if len(a.Grants) == 0 || a.Arbitrations == 0 {
+					t.Fatalf("no work at scale: %d grants, %d arbitrations", len(a.Grants), a.Arbitrations)
+				}
+				b := Run(cfg)
+				if len(a.Grants) != len(b.Grants) || a.Arbitrations != b.Arbitrations ||
+					a.SettleRounds != b.SettleRounds {
+					t.Fatal("same seed, different runs at scale")
+				}
+			})
+		}
+	}
+}

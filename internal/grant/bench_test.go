@@ -11,7 +11,7 @@ import (
 // 0); ReportAllocs keeps the trajectory honest in BENCH_*.json.
 func BenchmarkGrantResolve(b *testing.B) {
 	for _, name := range Names() {
-		for _, n := range []int{8, 32} {
+		for _, n := range []int{8, 32, 64, 1024, 4096} {
 			f, err := ByName(name)
 			if err != nil {
 				b.Fatal(err)

@@ -5,13 +5,17 @@
 //
 // A Scheduler is the request-line side of one bus: Enqueue(agent)
 // asserts agent's request line, Resolve() runs one parallel contention
-// arbitration among the asserted lines and grants the winner. Every
-// scheduler resolves through internal/contention's wired-OR settle
-// model — not a shortcut comparison — so the bit-level semantics
-// (composite arbitration numbers, maximum-finding, RR3's empty-pass
-// re-arbitration) stay identical to the simulators. Property tests pin
-// each scheduler's winner sequence against its internal/core simulator
-// counterpart on identical arrival traces.
+// arbitration among the asserted lines and grants the winner. Resolve
+// runs on the word-wide bitarb kernel — request lines are a bitmap
+// (one bit per agent identity) and one arbitration is a handful of
+// mask operations per 64 agents — which is what lifts the practical
+// agent ceiling from tens to thousands. The original wired-OR settle
+// resolution (internal/contention, composite arbitration numbers over
+// ident layouts) is kept as the oracle: every scheduler can be flipped
+// into oracle mode, and equivalence tests replay random histories
+// through both resolutions requiring bit-identical winner sequences
+// and repass counts. Property tests additionally pin each scheduler's
+// winner sequence against its internal/core simulator counterpart.
 //
 // Schedulers are single-goroutine, like core.Protocol: the owner (one
 // shard loop) serializes Enqueue and Resolve. Enqueue and Resolve are
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"busarb/internal/bitarb"
 	"busarb/internal/contention"
 	"busarb/internal/ident"
 )
@@ -63,14 +68,21 @@ type Repasser interface {
 }
 
 // base carries the state every scheduler shares: the pending request
-// lines and the wired-OR contention arbiter the resolution runs on.
+// lines as a kernel bitmap, and — in oracle mode only — the wired-OR
+// contention arbiter the settle-model resolution runs on.
 type base struct {
-	n       int
-	layout  ident.Layout
-	arb     *contention.Arbitration
-	pending []bool // indexed by agent identity; [0] unused
-	npend   int
-	comps   []contention.Competitor // scratch, reused across Resolve calls
+	n      int
+	layout ident.Layout
+	req    *bitarb.Vec // asserted request lines, bit i = agent i
+	npend  int
+
+	// oracle switches Resolve from the kernel to the boolean wired-OR
+	// settle model. Set by equivalence tests (same package); the arb
+	// and comps scratch are built lazily so kernel-mode schedulers at
+	// thousands of agents never pay for the line bank.
+	oracle bool
+	arb    *contention.Arbitration
+	comps  []contention.Competitor
 }
 
 func newBase(n int, layout ident.Layout) base {
@@ -80,44 +92,57 @@ func newBase(n int, layout ident.Layout) base {
 	return base{
 		n:      n,
 		layout: layout,
-		// Agent identities drive the bank directly, so it needs n+1
-		// driver slots (identity 0 is reserved, §2.1).
-		arb:     contention.New(layout.TotalBits(), n+1),
-		pending: make([]bool, n+1),
-		comps:   make([]contention.Competitor, 0, n),
+		req:    bitarb.NewVec(n),
 	}
 }
 
 func (b *base) N() int       { return b.n }
 func (b *base) Pending() int { return b.npend }
 
+// setOracle flips the resolution model; used by equivalence tests via
+// the oracler interface every scheduler satisfies through embedding.
+func (b *base) setOracle(on bool) { b.oracle = on }
+
+type oracler interface{ setOracle(on bool) }
+
 func (b *base) enqueue(agent int) bool {
 	if agent < 1 || agent > b.n {
 		panic(fmt.Sprintf("grant: agent %d out of range 1..%d", agent, b.n))
 	}
-	if b.pending[agent] {
+	if b.req.Test(agent) {
 		return false
 	}
-	b.pending[agent] = true
+	b.req.Set(agent)
 	b.npend++
 	return true
 }
 
+// grantWin removes a kernel-resolved winner from the pending set.
+func (b *base) grantWin(w int) {
+	b.req.Clear(w)
+	b.npend--
+}
+
 func (b *base) reset() {
-	for i := range b.pending {
-		b.pending[i] = false
-	}
+	b.req.Reset()
 	b.npend = 0
 }
 
-// resolve runs one wired-OR arbitration among the pending agents that
-// satisfy eligible (nil means all), encoding each competitor's
-// arbitration number with encode. It returns 0 if no agent competed;
-// otherwise the winner is removed from the pending set.
-func (b *base) resolve(eligible func(id int) bool, encode func(id int) uint64) int {
+// resolveOracle runs one wired-OR settle arbitration among the pending
+// agents that satisfy eligible (nil means all), encoding each
+// competitor's arbitration number with encode. It returns 0 if no agent
+// competed; otherwise the winner is removed from the pending set. This
+// is the oracle the kernel resolutions are validated against.
+func (b *base) resolveOracle(eligible func(id int) bool, encode func(id int) uint64) int {
+	if b.arb == nil {
+		// Agent identities drive the bank directly, so it needs n+1
+		// driver slots (identity 0 is reserved, §2.1).
+		b.arb = contention.New(b.layout.TotalBits(), b.n+1)
+		b.comps = make([]contention.Competitor, 0, b.n)
+	}
 	comps := b.comps[:0]
 	for id := 1; id <= b.n; id++ {
-		if b.pending[id] && (eligible == nil || eligible(id)) {
+		if b.req.Test(id) && (eligible == nil || eligible(id)) {
 			comps = append(comps, contention.Competitor{Agent: id, Number: encode(id)})
 		}
 	}
@@ -127,8 +152,7 @@ func (b *base) resolve(eligible func(id int) bool, encode func(id int) uint64) i
 	}
 	res := b.arb.Run(comps)
 	w := comps[res.Winner].Agent
-	b.pending[w] = false
-	b.npend--
+	b.grantWin(w)
 	return w
 }
 
@@ -150,11 +174,20 @@ func (s *FP) Name() string { return "FP" }
 // Enqueue implements Scheduler.
 func (s *FP) Enqueue(agent int) bool { return s.enqueue(agent) }
 
-// Resolve implements Scheduler.
+// Resolve implements Scheduler. Kernel path: the maximum static
+// identity is the highest set bit of the request bitmap.
 func (s *FP) Resolve() int {
-	return s.resolve(nil, func(id int) uint64 {
-		return s.layout.Encode(ident.Number{Static: id})
-	})
+	if s.oracle {
+		return s.resolveOracle(nil, func(id int) uint64 {
+			return s.layout.Encode(ident.Number{Static: id})
+		})
+	}
+	w := s.req.Max()
+	if w < 0 {
+		return 0
+	}
+	s.grantWin(w)
+	return w
 }
 
 // Reset implements Scheduler.
@@ -187,14 +220,29 @@ func (s *RR1) LastWinner() int { return s.lastWinner }
 // Enqueue implements Scheduler.
 func (s *RR1) Enqueue(agent int) bool { return s.enqueue(agent) }
 
-// Resolve implements Scheduler.
+// Resolve implements Scheduler. Kernel path: the RR bit is the MSB of
+// the composite number, so agents below the previous winner outrank
+// everyone else — the thermometer split MaxBelow(lastWinner), falling
+// back to the plain maximum when that segment is empty.
 func (s *RR1) Resolve() int {
-	w := s.resolve(nil, func(id int) uint64 {
-		return s.layout.Encode(ident.Number{Static: id, RR: id < s.lastWinner})
-	})
-	if w != 0 {
-		s.lastWinner = w
+	if s.oracle {
+		w := s.resolveOracle(nil, func(id int) uint64 {
+			return s.layout.Encode(ident.Number{Static: id, RR: id < s.lastWinner})
+		})
+		if w != 0 {
+			s.lastWinner = w
+		}
+		return w
 	}
+	w := s.req.MaxBelow(s.lastWinner)
+	if w < 0 {
+		w = s.req.Max()
+	}
+	if w < 0 {
+		return 0
+	}
+	s.grantWin(w)
+	s.lastWinner = w
 	return w
 }
 
@@ -234,22 +282,36 @@ func (s *RR3) Repasses() int64 { return s.repasses }
 // Enqueue implements Scheduler.
 func (s *RR3) Enqueue(agent int) bool { return s.enqueue(agent) }
 
-// Resolve implements Scheduler.
+// Resolve implements Scheduler. Kernel path: the inhibited arbitration
+// is MaxBelow(lastWinner); an empty segment is the empty pass, after
+// which lastWinner = N+1 uninhibits everyone and the repass is the
+// plain maximum.
 func (s *RR3) Resolve() int {
 	if s.npend == 0 {
 		return 0
 	}
-	encode := func(id int) uint64 {
-		return s.layout.Encode(ident.Number{Static: id})
+	if s.oracle {
+		encode := func(id int) uint64 {
+			return s.layout.Encode(ident.Number{Static: id})
+		}
+		w := s.resolveOracle(func(id int) bool { return id < s.lastWinner }, encode)
+		if w == 0 {
+			// Empty pass: every agent records N+1, a fresh uninhibited
+			// arbitration follows at once (§3.1).
+			s.lastWinner = s.n + 1
+			s.repasses++
+			w = s.resolveOracle(func(id int) bool { return id < s.lastWinner }, encode)
+		}
+		s.lastWinner = w
+		return w
 	}
-	w := s.resolve(func(id int) bool { return id < s.lastWinner }, encode)
-	if w == 0 {
-		// Empty pass: every agent records N+1, a fresh uninhibited
-		// arbitration follows at once (§3.1).
+	w := s.req.MaxBelow(s.lastWinner)
+	if w < 0 {
 		s.lastWinner = s.n + 1
 		s.repasses++
-		w = s.resolve(func(id int) bool { return id < s.lastWinner }, encode)
+		w = s.req.Max()
 	}
+	s.grantWin(w)
 	s.lastWinner = w
 	return w
 }
@@ -264,20 +326,21 @@ func (s *RR3) Reset() { s.reset(); s.lastWinner = 0; s.repasses = 0 }
 // FCFS1 prepends a per-agent counter, incremented each time the agent
 // loses an arbitration and cleared on enqueue and on a win, to the
 // static identity. With one outstanding request per agent the counter
-// never exceeds N-1, so ceil(log2 N) bits suffice (§3.2).
+// never exceeds N-1, so ceil(log2 N) bits suffice (§3.2). The counters
+// live as kernel bit-planes: the lose increment is one word-parallel
+// saturating add over the request bitmap, O(counter bits) per 64
+// agents.
 type FCFS1 struct {
 	base
-	counter []int
-	max     int
+	ctr *bitarb.Counters
 }
 
 // NewFCFS1 returns the lose-counting FCFS scheduler for n agents.
 func NewFCFS1(n int) *FCFS1 {
 	w := ident.Width(n)
 	return &FCFS1{
-		base:    newBase(n, ident.Layout{StaticBits: ident.Width(n), CounterBits: w}),
-		counter: make([]int, n+1),
-		max:     1<<w - 1,
+		base: newBase(n, ident.Layout{StaticBits: w, CounterBits: w}),
+		ctr:  bitarb.NewCounters(w, n),
 	}
 }
 
@@ -285,41 +348,47 @@ func NewFCFS1(n int) *FCFS1 {
 func (s *FCFS1) Name() string { return "FCFS1" }
 
 // Counter returns agent id's waiting-time counter (for tests).
-func (s *FCFS1) Counter(id int) int { return s.counter[id] }
+func (s *FCFS1) Counter(id int) int { return s.ctr.Get(id) }
 
 // Enqueue implements Scheduler: a new request starts with counter 0.
 func (s *FCFS1) Enqueue(agent int) bool {
 	if !s.enqueue(agent) {
 		return false
 	}
-	s.counter[agent] = 0
+	s.ctr.Zero(agent)
 	return true
 }
 
-// Resolve implements Scheduler.
+// Resolve implements Scheduler. Kernel path: the composite number is
+// (counter, static identity) lexicographically, which is exactly the
+// counter-plane tournament MaxIn (ties toward higher identity).
 func (s *FCFS1) Resolve() int {
-	w := s.resolve(nil, func(id int) uint64 {
-		return s.layout.Encode(ident.Number{Static: id, Counter: s.counter[id]})
-	})
-	if w == 0 {
-		return 0
+	var w int
+	if s.oracle {
+		w = s.resolveOracle(nil, func(id int) uint64 {
+			return s.layout.Encode(ident.Number{Static: id, Counter: s.ctr.Get(id)})
+		})
+		if w == 0 {
+			return 0
+		}
+	} else {
+		w = s.ctr.MaxIn(s.req)
+		if w < 0 {
+			return 0
+		}
+		s.grantWin(w)
 	}
 	// "Lose" increments (saturating); the winner's counter is cleared.
-	s.counter[w] = 0
-	for id := 1; id <= s.n; id++ {
-		if s.pending[id] && s.counter[id] < s.max {
-			s.counter[id]++
-		}
-	}
+	// The winner is already out of the request bitmap here.
+	s.ctr.Zero(w)
+	s.ctr.Inc(s.req)
 	return w
 }
 
 // Reset implements Scheduler.
 func (s *FCFS1) Reset() {
 	s.reset()
-	for i := range s.counter {
-		s.counter[i] = 0
-	}
+	s.ctr.Reset()
 }
 
 // ---------------------------------------------------------------------
@@ -334,8 +403,7 @@ func (s *FCFS1) Reset() {
 // window.
 type FCFS2 struct {
 	base
-	counter []int
-	max     int
+	ctr *bitarb.Counters
 }
 
 // NewFCFS2 returns the a-incr FCFS scheduler for n agents. The counter
@@ -344,9 +412,8 @@ type FCFS2 struct {
 func NewFCFS2(n int) *FCFS2 {
 	w := ident.Width(n)
 	return &FCFS2{
-		base:    newBase(n, ident.Layout{StaticBits: ident.Width(n), CounterBits: w}),
-		counter: make([]int, n+1),
-		max:     1<<w - 1,
+		base: newBase(n, ident.Layout{StaticBits: w, CounterBits: w}),
+		ctr:  bitarb.NewCounters(w, n),
 	}
 }
 
@@ -354,40 +421,44 @@ func NewFCFS2(n int) *FCFS2 {
 func (s *FCFS2) Name() string { return "FCFS2" }
 
 // Counter returns agent id's waiting-time counter (for tests).
-func (s *FCFS2) Counter(id int) int { return s.counter[id] }
+func (s *FCFS2) Counter(id int) int { return s.ctr.Get(id) }
 
-// Enqueue implements Scheduler: the newcomer pulses a-incr.
+// Enqueue implements Scheduler: the newcomer pulses a-incr, a single
+// word-parallel saturating increment over the waiting bitmap.
 func (s *FCFS2) Enqueue(agent int) bool {
 	if agent < 1 || agent > s.n {
 		panic(fmt.Sprintf("grant: agent %d out of range 1..%d", agent, s.n))
 	}
-	if s.pending[agent] {
+	if s.req.Test(agent) {
 		return false
 	}
-	for id := 1; id <= s.n; id++ {
-		if s.pending[id] && s.counter[id] < s.max {
-			s.counter[id]++
-		}
-	}
-	s.counter[agent] = 0
-	s.pending[agent] = true
+	s.ctr.Inc(s.req)
+	s.ctr.Zero(agent)
+	s.req.Set(agent)
 	s.npend++
 	return true
 }
 
-// Resolve implements Scheduler.
+// Resolve implements Scheduler. Kernel path: same (counter, identity)
+// tournament as FCFS1; the counters only move on arrivals.
 func (s *FCFS2) Resolve() int {
-	return s.resolve(nil, func(id int) uint64 {
-		return s.layout.Encode(ident.Number{Static: id, Counter: s.counter[id]})
-	})
+	if s.oracle {
+		return s.resolveOracle(nil, func(id int) uint64 {
+			return s.layout.Encode(ident.Number{Static: id, Counter: s.ctr.Get(id)})
+		})
+	}
+	w := s.ctr.MaxIn(s.req)
+	if w < 0 {
+		return 0
+	}
+	s.grantWin(w)
+	return w
 }
 
 // Reset implements Scheduler.
 func (s *FCFS2) Reset() {
 	s.reset()
-	for i := range s.counter {
-		s.counter[i] = 0
-	}
+	s.ctr.Reset()
 }
 
 // ---------------------------------------------------------------------

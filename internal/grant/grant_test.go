@@ -184,26 +184,27 @@ func TestByNameUnknown(t *testing.T) {
 // arbd shard loop leans on this — a per-grant allocation would be paid
 // millions of times a day.
 func TestSteadyStateAllocs(t *testing.T) {
-	const n = 8
-	for _, name := range Names() {
-		f, err := ByName(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		s := f(n)
-		cycle := func() {
-			for id := 1; id <= n; id++ {
-				s.Enqueue(id)
+	for _, n := range []int{8, 1024} { // small and kernel-scale
+		for _, name := range Names() {
+			f, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
 			}
-			for s.Pending() > 0 {
-				if s.Resolve() == 0 {
-					t.Fatalf("%s: Resolve returned 0 with %d pending", name, s.Pending())
+			s := f(n)
+			cycle := func() {
+				for id := 1; id <= n; id++ {
+					s.Enqueue(id)
+				}
+				for s.Pending() > 0 {
+					if s.Resolve() == 0 {
+						t.Fatalf("%s: Resolve returned 0 with %d pending", name, s.Pending())
+					}
 				}
 			}
-		}
-		cycle() // warm the scratch buffers
-		if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
-			t.Errorf("%s: steady-state enqueue/resolve cycle allocates %v times, want 0", name, allocs)
+			cycle() // warm the scratch buffers
+			if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+				t.Errorf("%s/n=%d: steady-state enqueue/resolve cycle allocates %v times, want 0", name, n, allocs)
+			}
 		}
 	}
 }

@@ -1,0 +1,97 @@
+package grant
+
+import (
+	"fmt"
+	"testing"
+
+	"busarb/internal/rng"
+)
+
+// TestKernelMatchesSettleOracle is the tentpole equivalence contract:
+// for every protocol, a kernel-mode scheduler and a settle-oracle twin
+// (same type, oracle flag set, resolving through the boolean wired-OR
+// contention model with composite ident numbers) replay the same random
+// history of Enqueue/Resolve events and must produce bit-identical
+// winner sequences — and, for RR3, identical repass counts. Agent
+// counts straddle the 64-bit word boundaries and reach kernel scale.
+func TestKernelMatchesSettleOracle(t *testing.T) {
+	ns := []int{1, 2, 5, 63, 64, 65, 130, 1024}
+	for _, name := range Names() {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range ns {
+			if n > 200 && testing.Short() {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/n=%d", name, n), func(t *testing.T) {
+				kernel := f(n)
+				oracle := f(n)
+				oracle.(oracler).setOracle(true)
+
+				src := rng.New(uint64(n)*1315423911 + uint64(len(name)))
+				events := 400
+				if n > 200 {
+					events = 1200 // enough churn to wrap lastWinner / counters
+				}
+				for ev := 0; ev < events; ev++ {
+					if src.Intn(3) != 0 || kernel.Pending() == 0 {
+						agent := 1 + src.Intn(n)
+						ke := kernel.Enqueue(agent)
+						oe := oracle.Enqueue(agent)
+						if ke != oe {
+							t.Fatalf("event %d: Enqueue(%d) kernel=%v oracle=%v", ev, agent, ke, oe)
+						}
+						continue
+					}
+					kw := kernel.Resolve()
+					ow := oracle.Resolve()
+					if kw != ow {
+						t.Fatalf("event %d: Resolve kernel=%d oracle=%d", ev, kw, ow)
+					}
+				}
+				// Drain both to compare the full winner sequence.
+				for kernel.Pending() > 0 {
+					kw := kernel.Resolve()
+					ow := oracle.Resolve()
+					if kw != ow {
+						t.Fatalf("drain: Resolve kernel=%d oracle=%d", kw, ow)
+					}
+				}
+				if ow := oracle.Resolve(); ow != 0 {
+					t.Fatalf("oracle still pending after kernel drained (next winner %d)", ow)
+				}
+				kr, kok := kernel.(Repasser)
+				or, ook := oracle.(Repasser)
+				if kok != ook {
+					t.Fatalf("Repasser mismatch: kernel %v oracle %v", kok, ook)
+				}
+				if kok && kr.Repasses() != or.Repasses() {
+					t.Fatalf("repasses: kernel=%d oracle=%d", kr.Repasses(), or.Repasses())
+				}
+			})
+		}
+	}
+}
+
+// TestOracleModeUsesSettle sanity-checks that the oracle flag actually
+// changes the resolution machinery: an oracle-mode scheduler builds its
+// contention arbiter lazily on first Resolve, a kernel-mode one never
+// does.
+func TestOracleModeUsesSettle(t *testing.T) {
+	k := NewFP(8)
+	o := NewFP(8)
+	o.setOracle(true)
+	k.Enqueue(3)
+	o.Enqueue(3)
+	if k.Resolve() != 3 || o.Resolve() != 3 {
+		t.Fatal("wrong winner")
+	}
+	if k.arb != nil {
+		t.Error("kernel-mode scheduler built a contention arbiter")
+	}
+	if o.arb == nil {
+		t.Error("oracle-mode scheduler did not build a contention arbiter")
+	}
+}

@@ -67,8 +67,10 @@ func (l Layout) Validate(n Number) error {
 	if l.StaticBits < 1 {
 		return fmt.Errorf("ident: layout has no static field")
 	}
-	if n.Static < 0 || n.Static >= 1<<l.StaticBits {
-		return fmt.Errorf("ident: static id %d out of range for %d bits", n.Static, l.StaticBits)
+	// Identity 0 is reserved: a winning identity of zero means "no
+	// competitor participated" (§2.1, §3.1), so no agent may carry it.
+	if n.Static < 1 || n.Static >= 1<<l.StaticBits {
+		return fmt.Errorf("ident: static id %d out of range 1..%d (identity 0 is reserved, §2.1)", n.Static, 1<<l.StaticBits-1)
 	}
 	if n.Counter < 0 || (l.CounterBits == 0 && n.Counter != 0) ||
 		(l.CounterBits > 0 && n.Counter >= 1<<l.CounterBits) {

@@ -44,7 +44,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	for _, l := range layouts {
 		f := func(static, counter uint8, rr, prio bool) bool {
 			n := Number{
-				Static:   int(static) % (1 << l.StaticBits),
+				// Identity 0 is reserved, so valid statics are
+				// 1..2^StaticBits-1.
+				Static:   1 + int(static)%(1<<l.StaticBits-1),
 				RR:       rr && l.RRBit,
 				Counter:  0,
 				Priority: prio && l.PriorityBit,
@@ -86,25 +88,51 @@ func TestEncodeOrdering(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
-	l := Layout{StaticBits: 3}
-	if err := l.Validate(Number{Static: 7}); err != nil {
-		t.Errorf("valid number rejected: %v", err)
+	cases := []struct {
+		name   string
+		layout Layout
+		n      Number
+		ok     bool
+	}{
+		{"min static", Layout{StaticBits: 3}, Number{Static: 1}, true},
+		{"max static", Layout{StaticBits: 3}, Number{Static: 7}, true},
+		{"full composite", Layout{StaticBits: 3, RRBit: true, CounterBits: 2, PriorityBit: true},
+			Number{Static: 5, RR: true, Counter: 3, Priority: true}, true},
+		// The reserved identity: a winning identity of zero means "no
+		// competitor" (§2.1), so no agent may carry Static == 0. This
+		// used to be accepted.
+		{"reserved zero", Layout{StaticBits: 3}, Number{Static: 0}, false},
+		{"reserved zero wide", Layout{StaticBits: 6, CounterBits: 6}, Number{Static: 0, Counter: 3}, false},
+		{"static too big", Layout{StaticBits: 3}, Number{Static: 8}, false},
+		{"static negative", Layout{StaticBits: 3}, Number{Static: -1}, false},
+		{"RR without RR bit", Layout{StaticBits: 3}, Number{Static: 1, RR: true}, false},
+		{"counter without field", Layout{StaticBits: 3}, Number{Static: 1, Counter: 1}, false},
+		{"counter too big", Layout{StaticBits: 3, CounterBits: 2}, Number{Static: 1, Counter: 4}, false},
+		{"priority without bit", Layout{StaticBits: 3}, Number{Static: 1, Priority: true}, false},
+		{"no static field", Layout{}, Number{}, false},
 	}
-	bad := []Number{
-		{Static: 8},
-		{Static: -1},
-		{Static: 1, RR: true},       // no RR bit in layout
-		{Static: 1, Counter: 1},     // no counter in layout
-		{Static: 1, Priority: true}, // no priority bit in layout
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.layout.Validate(c.n)
+			if c.ok && err != nil {
+				t.Errorf("Validate(%+v) = %v, want nil", c.n, err)
+			}
+			if !c.ok && err == nil {
+				t.Errorf("Validate(%+v) accepted invalid number", c.n)
+			}
+		})
 	}
-	for _, n := range bad {
-		if err := l.Validate(n); err == nil {
-			t.Errorf("Validate(%+v) accepted invalid number", n)
+}
+
+// TestEncodeRejectsReservedIdentity pins the reserved identity at the
+// Encode layer too: protocols must never place identity 0 on the lines.
+func TestEncodeRejectsReservedIdentity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode(Static: 0) did not panic")
 		}
-	}
-	if err := (Layout{}).Validate(Number{}); err == nil {
-		t.Error("layout without static field accepted")
-	}
+	}()
+	Layout{StaticBits: 4}.Encode(Number{Static: 0})
 }
 
 func TestEncodePanicsOnInvalid(t *testing.T) {

@@ -69,9 +69,15 @@ type Bank struct {
 }
 
 // NewBank creates width lines named name0..name<width-1>, MSB first.
+// Width is capped at 64: Value packs the bank into one uint64, and a
+// wider bank would silently shift the most significant lines off the
+// top.
 func NewBank(name string, width, agents int) *Bank {
 	if width <= 0 {
 		panic(fmt.Sprintf("wiredor: bank %q needs positive width", name))
+	}
+	if width > 64 {
+		panic(fmt.Sprintf("wiredor: bank %q width %d exceeds 64 (Value packs the bank into one uint64)", name, width))
 	}
 	b := &Bank{lines: make([]*Line, width)}
 	for i := range b.lines {

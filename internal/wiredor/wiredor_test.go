@@ -151,6 +151,28 @@ func TestNewBankPanics(t *testing.T) {
 	NewBank("AB", 0, 1)
 }
 
+// TestNewBankRejectsOverwide is the regression test for the silent
+// width>64 truncation: Bank.Value packs the lines into one uint64, and
+// a 65-line bank used to shift the most significant line off the top
+// instead of failing. Width 64 itself must work, all lines intact.
+func TestNewBankRejectsOverwide(t *testing.T) {
+	b := NewBank("AB", 64, 1)
+	bits := make([]bool, 64)
+	for i := range bits {
+		bits[i] = true
+	}
+	b.Apply(0, bits)
+	if b.Value() != ^uint64(0) {
+		t.Errorf("64-line bank value = %x, want all ones", b.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBank with width 65 did not panic")
+		}
+	}()
+	NewBank("AB", 65, 1)
+}
+
 // Property: the bank value is the bitwise OR of all applied patterns.
 func TestBankValueIsBitwiseOR(t *testing.T) {
 	f := func(a, b, c uint8) bool {
