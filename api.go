@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
+	"busarb/client"
 	"busarb/internal/bussim"
 	"busarb/internal/core"
 	"busarb/internal/cyclesim"
@@ -363,4 +365,41 @@ func LineLevelBus(name string, n int) (*cyclesim.Bus, error) {
 		return nil, err
 	}
 	return cyclesim.New(k, n), nil
+}
+
+// Serving layer (busarb/client): the transport-agnostic client for an
+// arbd arbitration daemon. Re-exported here so programs embedding the
+// simulators and talking to a live daemon need only this package; the
+// client package remains importable directly.
+type (
+	// Client talks to one arbd daemon over the transport its Dial
+	// target selects.
+	Client = client.Client
+	// Lease is a granted resource tenure on a daemon.
+	Lease = client.Lease
+	// AcquireOptions tunes one Client.Acquire.
+	AcquireOptions = client.AcquireOptions
+	// DialOption adjusts Dial.
+	DialOption = client.Option
+)
+
+// The client error taxonomy's sentinels; match with errors.Is.
+var (
+	// ErrDeadline reports an acquire not granted in time (408).
+	ErrDeadline = client.ErrDeadline
+	// ErrOverload reports daemon backpressure (503).
+	ErrOverload = client.ErrOverload
+	// ErrClosed reports use of a closed Client.
+	ErrClosed = client.ErrClosed
+)
+
+// Dial connects to an arbd daemon; the target's scheme selects the
+// transport (http://, https://, or tcp:// for the binary protocol).
+func Dial(target string, opts ...DialOption) (*Client, error) {
+	return client.Dial(target, opts...)
+}
+
+// WithDialTimeout bounds the binary transport's connection attempts.
+func WithDialTimeout(d time.Duration) DialOption {
+	return client.WithDialTimeout(d)
 }

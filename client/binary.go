@@ -1,0 +1,213 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"busarb/internal/arbd/codec"
+)
+
+// binaryTransport speaks the daemon's binary protocol (docs/WIRE.md):
+// one persistent TCP connection carrying length-prefixed frames, with
+// every in-flight call correlated by ID so any number of logical
+// agents multiplex over it. The connection is dialed eagerly by Dial
+// and redialed transparently if it tears; calls in flight when it
+// tears fail with the connection's error.
+type binaryTransport struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu      sync.Mutex
+	conn    net.Conn      // nil between teardown and redial
+	w       *codec.Writer // writes serialized under mu
+	corr    uint64
+	pending map[uint64]chan outcome
+	closed  bool
+}
+
+// outcome resolves one correlated call.
+type outcome struct {
+	lease Lease // valid for acquire grants
+	err   error
+}
+
+func newBinaryTransport(addr string, dialTimeout time.Duration) (*binaryTransport, error) {
+	t := &binaryTransport{
+		addr:        addr,
+		dialTimeout: dialTimeout,
+		pending:     make(map[uint64]chan outcome),
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.ensureConnLocked(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ensureConnLocked dials if the connection is down and starts its
+// reader. Callers hold t.mu.
+func (t *binaryTransport) ensureConnLocked() error {
+	if t.closed {
+		return ErrClosed
+	}
+	if t.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", t.addr, t.dialTimeout)
+	if err != nil {
+		return fmt.Errorf("client: dial %s: %w", t.addr, err)
+	}
+	t.conn = conn
+	t.w = codec.NewWriter(conn)
+	go t.readLoop(conn)
+	return nil
+}
+
+// readLoop owns conn's read side: it resolves correlated calls until
+// the connection ends, then fails whatever is still in flight.
+func (t *binaryTransport) readLoop(conn net.Conn) {
+	r := codec.NewReader(conn)
+	var f codec.Frame
+	for {
+		if err := r.Next(&f); err != nil {
+			t.teardown(conn, fmt.Errorf("client: connection to %s lost: %w", t.addr, err))
+			return
+		}
+		var out outcome
+		switch f.Type {
+		case codec.TGrant:
+			out.lease = Lease{
+				Resource: string(f.Resource),
+				Agent:    int(f.Agent),
+				Token:    string(f.Token),
+				TTL:      time.Duration(f.TTLNS),
+			}
+		case codec.TReleased:
+			// success, zero outcome
+		case codec.TError:
+			out.err = &Error{Code: int(f.Code), Msg: string(f.Msg)}
+		default:
+			// A frame type we never ask for: protocol skew. Drop the
+			// connection rather than guess.
+			t.teardown(conn, fmt.Errorf("client: unexpected %v frame from %s", f.Type, t.addr))
+			return
+		}
+		t.mu.Lock()
+		ch, ok := t.pending[f.Corr]
+		if ok {
+			delete(t.pending, f.Corr)
+		}
+		t.mu.Unlock()
+		if ok {
+			ch <- out // buffered; never blocks
+		}
+		// An unmatched correlation ID is a response to a call whose
+		// context was abandoned; its lease (if any) lapses at TTL.
+	}
+}
+
+// teardown retires a torn connection and fails its in-flight calls.
+func (t *binaryTransport) teardown(conn net.Conn, err error) {
+	conn.Close()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == conn {
+		t.conn = nil
+		t.w = nil
+	}
+	if t.closed {
+		err = ErrClosed
+	}
+	for corr, ch := range t.pending {
+		delete(t.pending, corr)
+		ch <- outcome{err: err}
+	}
+}
+
+// call writes one frame and waits for its correlated response.
+func (t *binaryTransport) call(ctx context.Context, f *codec.Frame) (Lease, error) {
+	t.mu.Lock()
+	if err := t.ensureConnLocked(); err != nil {
+		t.mu.Unlock()
+		return Lease{}, err
+	}
+	t.corr++
+	corr := t.corr
+	f.Corr = corr
+	ch := make(chan outcome, 1)
+	t.pending[corr] = ch
+	err := t.w.WriteFrame(f)
+	t.mu.Unlock()
+	if err != nil {
+		// The reader's teardown will (or already did) fail ch; prefer
+		// the write error for this caller.
+		t.forget(corr)
+		return Lease{}, fmt.Errorf("client: write to %s: %w", t.addr, err)
+	}
+	select {
+	case out := <-ch:
+		return out.lease, out.err
+	case <-ctx.Done():
+		t.forget(corr)
+		return Lease{}, &Error{Code: 408, Msg: "client: context done before response: " + ctx.Err().Error()}
+	}
+}
+
+// forget abandons a pending correlation ID.
+func (t *binaryTransport) forget(corr uint64) {
+	t.mu.Lock()
+	delete(t.pending, corr)
+	t.mu.Unlock()
+}
+
+func (t *binaryTransport) acquire(ctx context.Context, resource string, agent int, opts AcquireOptions) (Lease, error) {
+	timeout := opts.Timeout
+	if timeout == 0 {
+		// No explicit timeout: let a context deadline bound the queue
+		// wait server-side too, so the daemon answers 408 and discards
+		// the waiter instead of granting into an abandoned call.
+		if deadline, ok := ctx.Deadline(); ok {
+			if timeout = time.Until(deadline); timeout <= 0 {
+				return Lease{}, &Error{Code: 408, Msg: "client: context deadline already passed"}
+			}
+		}
+	}
+	f := codec.Frame{
+		Type:      codec.TAcquire,
+		Agent:     uint32(agent),
+		TimeoutNS: int64(timeout),
+		TTLNS:     int64(opts.TTL),
+		Resource:  []byte(resource),
+	}
+	return t.call(ctx, &f)
+}
+
+func (t *binaryTransport) release(ctx context.Context, resource, token string) error {
+	f := codec.Frame{
+		Type:     codec.TRelease,
+		Resource: []byte(resource),
+		Token:    []byte(token),
+	}
+	_, err := t.call(ctx, &f)
+	return err
+}
+
+func (t *binaryTransport) close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conn := t.conn
+	t.mu.Unlock()
+	if conn != nil {
+		// The reader's teardown fails in-flight calls with ErrClosed.
+		conn.Close()
+	}
+	return nil
+}

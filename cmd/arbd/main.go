@@ -1,16 +1,20 @@
-// Command arbd serves bus-style arbitration over HTTP: named resources
-// are granted to networked agents by the paper's protocols, re-hosted
-// as real-time grant schedulers (internal/grant, internal/arbd).
+// Command arbd serves bus-style arbitration: named resources are
+// granted to networked agents by the paper's protocols, re-hosted as
+// real-time grant schedulers (internal/grant, internal/arbd), over two
+// transports sharing one daemon — JSON over HTTP (-addr) and the
+// compact binary protocol (-baddr; spec in docs/WIRE.md).
 //
 // Examples:
 //
 //	arbd -addr :8321 -resources bus:10:RR1
 //	arbd -resources "bus:10:RR1,disk:4:FCFS2" -tick 500us -ttl 5s
 //	arbd -addr 127.0.0.1:0 -resources bus:8:FP   # free port, printed
+//	arbd -addr :8321 -baddr :8322                # HTTP and binary
 //
-// The daemon prints "arbd: listening on HOST:PORT" once it is
-// accepting connections and exits 0 on SIGINT/SIGTERM after answering
-// every queued acquire with 503.
+// The daemon prints "arbd: listening on HOST:PORT" once HTTP is
+// accepting connections ("arbd: binary listening on HOST:PORT" for
+// -baddr) and exits 0 on SIGINT/SIGTERM after answering every queued
+// acquire with the overload code.
 package main
 
 import (
@@ -63,7 +67,8 @@ func parseResources(spec string, tick, ttl time.Duration, queue int, window floa
 }
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8321", "listen address (host:port; port 0 picks a free port)")
+	addr := flag.String("addr", "127.0.0.1:8321", "HTTP listen address (host:port; port 0 picks a free port)")
+	baddr := flag.String("baddr", "", "binary-protocol listen address (empty: binary transport off)")
 	resources := flag.String("resources", "bus:10:RR1",
 		"comma-separated resource specs, each name:agents:protocol")
 	tick := flag.Duration("tick", 0, "bus-cycle tick for every resource (0: 1ms default)")
@@ -88,7 +93,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arbd:", err)
 		os.Exit(1)
 	}
+	var bln net.Listener
+	if *baddr != "" {
+		bln, err = net.Listen("tcp", *baddr)
+		if err != nil {
+			ln.Close()
+			d.Close()
+			fmt.Fprintln(os.Stderr, "arbd:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("arbd: listening on %s\n", ln.Addr())
+	if bln != nil {
+		fmt.Printf("arbd: binary listening on %s\n", bln.Addr())
+	}
 	for _, rc := range rcs {
 		fmt.Printf("arbd: serving %q to %d agents under %s\n", rc.Name, rc.Agents, rc.Protocol)
 	}
@@ -96,6 +114,15 @@ func main() {
 	srv := &http.Server{Handler: d.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+	var bsrv *arbd.BinaryServer
+	if bln != nil {
+		bsrv = arbd.NewBinaryServer(d)
+		go func() {
+			if err := bsrv.Serve(bln); err != nil && err != arbd.ErrServerClosed {
+				serveErr <- err
+			}
+		}()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
@@ -104,11 +131,17 @@ func main() {
 		fmt.Printf("arbd: %s, shutting down\n", sig)
 	case err := <-serveErr:
 		fmt.Fprintln(os.Stderr, "arbd:", err)
+		if bsrv != nil {
+			bsrv.Close()
+		}
 		d.Close()
 		os.Exit(1)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	srv.Shutdown(ctx)
+	if bsrv != nil {
+		bsrv.Close()
+	}
 	d.Close()
 }

@@ -5,10 +5,14 @@
 // throughput, the bandwidth ratio t_N/t_1, and acquire-wait quantiles:
 // Table 4.1 measured over the network.
 //
+// The -target scheme selects the transport: http:// drives the JSON
+// surface, tcp:// the binary protocol (every agent multiplexed over
+// one persistent connection). All traffic goes through busarb/client.
+//
 // Examples:
 //
-//	arbload -addr http://127.0.0.1:8321 -resource bus -agents 10 -requests 100
-//	arbload -resource bus -agents 10 -requests 50 -think 2ms -cv 0.5
+//	arbload -target http://127.0.0.1:8321 -resource bus -agents 10 -requests 100
+//	arbload -target tcp://127.0.0.1:8322 -resource bus -agents 100 -requests 50
 //	arbload -resource bus -agents 30 -requests 20 -hold 1ms -timeout 2s
 package main
 
@@ -21,7 +25,8 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8321", "base URL of the arbd daemon")
+	target := flag.String("target", "http://127.0.0.1:8321",
+		"daemon target; the scheme selects the transport (http:// or tcp://)")
 	resource := flag.String("resource", "bus", "resource to arbitrate for")
 	agents := flag.Int("agents", 10, "number of closed-loop agents (identities 1..N)")
 	requests := flag.Int("requests", 100, "grant budget per agent")
@@ -33,7 +38,7 @@ func main() {
 	flag.Parse()
 
 	cfg := arbd.LoadConfig{
-		BaseURL:   *addr,
+		Target:    *target,
 		Resource:  *resource,
 		Agents:    *agents,
 		Requests:  *requests,

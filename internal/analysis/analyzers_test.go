@@ -45,7 +45,9 @@ func TestAnalyzerScope(t *testing.T) {
 		{analysis.Determinism, "busarb/internal/grant", true},
 		{analysis.Determinism, "busarb/internal/bitarb", true},
 		{analysis.Determinism, "busarb/internal/arbd", false},
+		{analysis.Determinism, "busarb/internal/arbd/codec", true},
 		{analysis.NilProbe, "busarb/internal/grant", true},
+		{analysis.NilProbe, "busarb/internal/arbd/codec", true},
 		{analysis.NilProbe, "busarb/internal/bitarb", true},
 		{analysis.NilProbe, "busarb/internal/arbd", false},
 		{analysis.NilProbe, "busarb/internal/cyclesim", true},

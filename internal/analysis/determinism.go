@@ -28,6 +28,11 @@ var simPackagePaths = []string{
 	// (internal/arbd is deliberately absent: its shard loops are
 	// wall-clock by design — tickers, lease TTLs, client deadlines.)
 	"internal/grant",
+	// The binary wire codec: pure byte-shuffling on the daemon's hot
+	// path, so it must stay clock-free and allocation-free like the
+	// kernels. (Its parent internal/arbd stays excluded; the suffix
+	// match binds the codec package alone.)
+	"internal/arbd/codec",
 }
 
 func isSimPackage(path string) bool {

@@ -150,13 +150,26 @@ func (d *Daemon) Close() {
 // Uptime returns the wall-clock time since the daemon started.
 func (d *Daemon) Uptime() time.Duration { return time.Since(d.epoch) }
 
-// httpError is a shard reply that maps onto an HTTP status.
-type httpError struct {
+// statusError is a shard reply that did not grant: a code from the
+// daemon's transport-neutral taxonomy plus a message. The codes reuse
+// the HTTP status numbers — 400 bad request, 404 unknown resource or
+// lease, 408 deadline, 503 overload/shutdown — and travel verbatim as
+// binary-protocol error codes, so both transports speak the same
+// taxonomy (client maps them onto its typed errors).
+type statusError struct {
 	code int
 	msg  string
 }
 
-func (e *httpError) Error() string { return e.msg }
+func (e *statusError) Error() string { return e.msg }
+
+// The taxonomy's codes, named where the transports construct replies.
+const (
+	codeBadRequest = 400
+	codeNotFound   = 404
+	codeDeadline   = 408
+	codeOverload   = 503
+)
 
 // acquireReq is one client waiting for a grant.
 type acquireReq struct {
@@ -170,7 +183,7 @@ type acquireReq struct {
 // acquireReply resolves one acquireReq: a lease or an error.
 type acquireReply struct {
 	lease Lease
-	err   *httpError
+	err   *statusError
 }
 
 // Lease is a granted resource tenure.
@@ -298,7 +311,7 @@ func (s *shard) drain() {
 	for {
 		select {
 		case req := <-s.acquireCh:
-			req.reply <- acquireReply{err: &httpError{503, "arbd: shutting down"}}
+			req.reply <- acquireReply{err: &statusError{codeOverload, "arbd: shutting down"}}
 			continue
 		case rel := <-s.releaseCh:
 			rel.reply <- false
@@ -309,7 +322,7 @@ func (s *shard) drain() {
 	}
 	for agent := 1; agent <= s.cfg.Agents; agent++ {
 		for _, req := range s.waiters[agent] {
-			req.reply <- acquireReply{err: &httpError{503, "arbd: shutting down"}}
+			req.reply <- acquireReply{err: &statusError{codeOverload, "arbd: shutting down"}}
 		}
 		s.waiters[agent] = nil
 	}
@@ -320,7 +333,7 @@ func (s *shard) drain() {
 // was idle. A full queue is backpressure: 503, try elsewhere or later.
 func (s *shard) admit(req *acquireReq) {
 	if s.nwait >= s.cfg.MaxQueue {
-		req.reply <- acquireReply{err: &httpError{503, fmt.Sprintf(
+		req.reply <- acquireReply{err: &statusError{codeOverload, fmt.Sprintf(
 			"arbd: resource %q queue full (%d waiters)", s.cfg.Name, s.nwait)}}
 		return
 	}
@@ -415,14 +428,14 @@ func (s *shard) expireWaiters(now time.Time) {
 }
 
 // waiterDead reports whether req can no longer be granted, and why.
-func waiterDead(req *acquireReq, now time.Time) (bool, *httpError) {
+func waiterDead(req *acquireReq, now time.Time) (bool, *statusError) {
 	select {
 	case <-req.ctx.Done():
-		return true, &httpError{408, "arbd: client went away"}
+		return true, &statusError{codeDeadline, "arbd: client went away"}
 	default:
 	}
 	if !req.deadline.IsZero() && now.After(req.deadline) {
-		return true, &httpError{408, "arbd: acquire deadline exceeded while queued"}
+		return true, &statusError{codeDeadline, "arbd: acquire deadline exceeded while queued"}
 	}
 	return false, nil
 }
@@ -463,11 +476,23 @@ func (s *shard) grantLease(agent int, req *acquireReq, now time.Time) {
 }
 
 // acquire submits one request to the shard and waits for its reply,
-// the client's deadline, or shutdown.
-func (s *shard) acquire(ctx context.Context, agent int, timeout, ttl time.Duration) (Lease, *httpError) {
+// the client's deadline, or shutdown. It is the transport-blind entry
+// point behind Daemon.Acquire, so it owns the full parameter
+// validation: a transport that never parses durations (the binary
+// codec ships raw nanoseconds) still cannot smuggle a negative
+// timeout or TTL past it into the shard defaults.
+func (s *shard) acquire(ctx context.Context, agent int, timeout, ttl time.Duration) (Lease, *statusError) {
 	if agent < 1 || agent > s.cfg.Agents {
-		return Lease{}, &httpError{400, fmt.Sprintf(
+		return Lease{}, &statusError{codeBadRequest, fmt.Sprintf(
 			"arbd: agent %d out of range 1..%d for resource %q", agent, s.cfg.Agents, s.cfg.Name)}
+	}
+	if timeout < 0 {
+		return Lease{}, &statusError{codeBadRequest, fmt.Sprintf(
+			"arbd: negative timeout %v", timeout)}
+	}
+	if ttl < 0 {
+		return Lease{}, &statusError{codeBadRequest, fmt.Sprintf(
+			"arbd: negative ttl %v", ttl)}
 	}
 	req := &acquireReq{
 		agent: agent,
@@ -481,9 +506,9 @@ func (s *shard) acquire(ctx context.Context, agent int, timeout, ttl time.Durati
 	select {
 	case s.acquireCh <- req:
 	case <-s.done:
-		return Lease{}, &httpError{503, "arbd: shutting down"}
+		return Lease{}, &statusError{codeOverload, "arbd: shutting down"}
 	case <-ctx.Done():
-		return Lease{}, &httpError{408, "arbd: client went away"}
+		return Lease{}, &statusError{codeDeadline, "arbd: client went away"}
 	}
 	// From here the shard replies on grant, deadline, abandonment, or
 	// shutdown-drain. One race remains: the send above can buffer into
@@ -498,9 +523,37 @@ func (s *shard) acquire(ctx context.Context, agent int, timeout, ttl time.Durati
 		case rep := <-req.reply:
 			return rep.lease, rep.err
 		default:
-			return Lease{}, &httpError{503, "arbd: shutting down"}
+			return Lease{}, &statusError{codeOverload, "arbd: shutting down"}
 		}
 	}
+}
+
+// Acquire is the transport-blind entry point both the HTTP handlers
+// and the binary listener feed: block until agent is granted resource
+// (nil error), the timeout passes while queued (408), ctx is
+// abandoned (408), backpressure pushes back (503: full queue or
+// shutdown), or the parameters are rejected (400 bad agent or
+// negative durations, 404 unknown resource).
+func (d *Daemon) Acquire(ctx context.Context, resource string, agent int, timeout, ttl time.Duration) (Lease, *statusError) {
+	s, ok := d.shards[resource]
+	if !ok {
+		return Lease{}, &statusError{codeNotFound, fmt.Sprintf("arbd: unknown resource %q", resource)}
+	}
+	return s.acquire(ctx, agent, timeout, ttl)
+}
+
+// Release is Acquire's counterpart: it ends the lease identified by
+// token, reporting 404 for an unknown resource or an unknown/expired
+// token.
+func (d *Daemon) Release(resource, token string) *statusError {
+	s, ok := d.shards[resource]
+	if !ok {
+		return &statusError{codeNotFound, fmt.Sprintf("arbd: unknown resource %q", resource)}
+	}
+	if !s.releaseToken(token) {
+		return &statusError{codeNotFound, "arbd: unknown or expired lease"}
+	}
+	return nil
 }
 
 // releaseToken submits a release and reports whether a live lease

@@ -104,6 +104,7 @@ func TestBadRequests(t *testing.T) {
 		{"agent out of range", "/v1/acquire?resource=bus&agent=5", http.StatusBadRequest},
 		{"agent zero", "/v1/acquire?resource=bus&agent=0", http.StatusBadRequest},
 		{"bad timeout", "/v1/acquire?resource=bus&agent=1&timeout=xyz", http.StatusBadRequest},
+		{"negative timeout", "/v1/acquire?resource=bus&agent=1&timeout=-1s", http.StatusBadRequest},
 		{"negative ttl", "/v1/acquire?resource=bus&agent=1&ttl=-1s", http.StatusBadRequest},
 		{"release missing token", "/v1/release?resource=bus", http.StatusBadRequest},
 		{"release unknown token", "/v1/release?resource=bus&token=nope", http.StatusNotFound},

@@ -1,0 +1,73 @@
+package codec
+
+import (
+	"testing"
+)
+
+// The codec benchmarks pin the wire fast path in the BENCH_*.json
+// trajectory: encode and decode must stay single-digit nanoseconds
+// per frame and 0 allocs/op, or the binary protocol stops being an
+// improvement over the JSON surface it exists to displace.
+
+func benchAcquire() Frame {
+	return Frame{Type: TAcquire, Corr: 123456, Agent: 17,
+		TimeoutNS: 2_000_000_000, TTLNS: 30_000_000_000, Resource: []byte("bus")}
+}
+
+func BenchmarkCodecEncodeAcquire(b *testing.B) {
+	f := benchAcquire()
+	buf := make([]byte, 0, MaxFrame)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Append(buf[:0], &f)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecDecodeAcquire(b *testing.B) {
+	f := benchAcquire()
+	wire, err := Append(nil, &f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out Frame
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecEncodeGrant(b *testing.B) {
+	f := Frame{Type: TGrant, Corr: 123456, Agent: 17,
+		TTLNS: 30_000_000_000, Resource: []byte("bus"), Token: []byte("bus-17-94321")}
+	buf := make([]byte, 0, MaxFrame)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Append(buf[:0], &f)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecDecodeGrant(b *testing.B) {
+	f := Frame{Type: TGrant, Corr: 123456, Agent: 17,
+		TTLNS: 30_000_000_000, Resource: []byte("bus"), Token: []byte("bus-17-94321")}
+	wire, err := Append(nil, &f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out Frame
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -16,13 +16,23 @@ import (
 //	    JSON body), the timeout passes (408), or the daemon pushes
 //	    back (503: full queue or shutting down).
 //	POST /v1/release?resource=R&token=T
-//	    End the lease T (200), or 404 if it is unknown or expired.
+//	    End the lease T (200 with {"resource","released"}), or 404 if
+//	    it is unknown or expired.
 //	GET  /metricz
 //	    Live per-resource JSON: per-agent grant and request tallies,
 //	    arbitration and repass counts, and the most recent closed
 //	    obs.Metrics window with per-agent wait quantiles.
 //	GET  /healthz
 //	    "ok" while the daemon is up.
+//
+// Every failure answers a JSON error envelope {"code","error"} —
+// code is the taxonomy name (bad_request, not_found, deadline,
+// overload), error the human-readable message — including requests
+// for /v1/ paths that do not exist (the version guard: an endpoint
+// this daemon does not speak is a well-formed not_found, never a
+// silently misrouted success). The HTTP statuses and envelope codes
+// are the same taxonomy the binary transport ships as numeric error
+// frames; busarb/client maps both onto its typed errors.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/acquire", d.handleAcquire)
@@ -31,7 +41,57 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		// The version guard sits below the method-qualified patterns,
+		// so it sees both wrong methods on real endpoints (405, with
+		// the envelope the bare mux would not write) and endpoints
+		// this daemon does not speak (404).
+		switch r.URL.Path {
+		case "/v1/acquire", "/v1/release":
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed,
+				fmt.Sprintf("arbd: %s %s needs POST", r.Method, r.URL.Path))
+		default:
+			writeError(w, codeNotFound, fmt.Sprintf("arbd: no such endpoint %s %s", r.Method, r.URL.Path))
+		}
+	})
 	return mux
+}
+
+// errorEnvelope is the JSON body of every HTTP failure.
+type errorEnvelope struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// codeName names a taxonomy code for the envelope.
+func codeName(code int) string {
+	switch code {
+	case codeBadRequest:
+		return "bad_request"
+	case codeNotFound:
+		return "not_found"
+	case codeDeadline:
+		return "deadline"
+	case codeOverload:
+		return "overload"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	}
+	return fmt.Sprintf("http_%d", code)
+}
+
+// writeError answers one failure with the envelope.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorEnvelope{Code: codeName(code), Error: msg})
+}
+
+// writeStatusError answers a shard/daemon statusError with the
+// envelope.
+func writeStatusError(w http.ResponseWriter, serr *statusError) {
+	writeError(w, serr.code, serr.msg)
 }
 
 // shardFor resolves the resource parameter, writing the error itself
@@ -39,12 +99,12 @@ func (d *Daemon) Handler() http.Handler {
 func (d *Daemon) shardFor(w http.ResponseWriter, r *http.Request) *shard {
 	name := r.FormValue("resource")
 	if name == "" {
-		http.Error(w, "arbd: missing resource parameter", http.StatusBadRequest)
+		writeError(w, codeBadRequest, "arbd: missing resource parameter")
 		return nil
 	}
 	s, ok := d.shards[name]
 	if !ok {
-		http.Error(w, fmt.Sprintf("arbd: unknown resource %q", name), http.StatusNotFound)
+		writeError(w, codeNotFound, fmt.Sprintf("arbd: unknown resource %q", name))
 		return nil
 	}
 	return s
@@ -73,26 +133,33 @@ func (d *Daemon) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	}
 	var agent int
 	if _, err := fmt.Sscanf(r.FormValue("agent"), "%d", &agent); err != nil {
-		http.Error(w, fmt.Sprintf("arbd: bad agent %q", r.FormValue("agent")), http.StatusBadRequest)
+		writeError(w, codeBadRequest, fmt.Sprintf("arbd: bad agent %q", r.FormValue("agent")))
 		return
 	}
 	timeout, err := parseDuration(r, "timeout")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, codeBadRequest, err.Error())
 		return
 	}
 	ttl, err := parseDuration(r, "ttl")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, codeBadRequest, err.Error())
 		return
 	}
-	lease, herr := s.acquire(r.Context(), agent, timeout, ttl)
-	if herr != nil {
-		http.Error(w, herr.msg, herr.code)
+	lease, serr := s.acquire(r.Context(), agent, timeout, ttl)
+	if serr != nil {
+		writeStatusError(w, serr)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(lease)
+}
+
+// releaseResponse is /v1/release's success body, naming the resource
+// with the same field spelling the acquire lease and /metricz use.
+type releaseResponse struct {
+	Resource string `json:"resource"`
+	Released bool   `json:"released"`
 }
 
 func (d *Daemon) handleRelease(w http.ResponseWriter, r *http.Request) {
@@ -102,15 +169,15 @@ func (d *Daemon) handleRelease(w http.ResponseWriter, r *http.Request) {
 	}
 	token := r.FormValue("token")
 	if token == "" {
-		http.Error(w, "arbd: missing token parameter", http.StatusBadRequest)
+		writeError(w, codeBadRequest, "arbd: missing token parameter")
 		return
 	}
 	if !s.releaseToken(token) {
-		http.Error(w, "arbd: unknown or expired lease", http.StatusNotFound)
+		writeError(w, codeNotFound, "arbd: unknown or expired lease")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"released":true}`)
+	json.NewEncoder(w).Encode(releaseResponse{Resource: s.cfg.Name, Released: true})
 }
 
 // AgentMetrics is one agent's slice of a /metricz resource entry.

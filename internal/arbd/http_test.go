@@ -1,0 +1,148 @@
+package arbd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// getEnvelope performs req and decodes the error envelope, failing if
+// the body is not one.
+func getEnvelope(t *testing.T, method, url string) (int, http.Header, errorEnvelope) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("%s %s: body %q is not an error envelope: %v", method, url, body, err)
+	}
+	return resp.StatusCode, resp.Header, env
+}
+
+// TestErrorEnvelope pins that every HTTP failure path answers the JSON
+// envelope {"code","error"} with the taxonomy's code name matching the
+// status, so clients never have to sniff plain-text bodies.
+func TestErrorEnvelope(t *testing.T) {
+	_, srv := newTestDaemon(t, res("bus", 4, "RR1"))
+
+	cases := []struct {
+		name     string
+		method   string
+		url      string
+		status   int
+		code     string
+		contains string // substring of the error message
+	}{
+		{"unknown resource", "POST", "/v1/acquire?resource=nope&agent=1",
+			404, "not_found", "unknown resource"},
+		{"missing resource", "POST", "/v1/acquire?agent=1",
+			400, "bad_request", "missing resource"},
+		{"bad agent", "POST", "/v1/acquire?resource=bus&agent=zero",
+			400, "bad_request", "bad agent"},
+		{"negative timeout", "POST", "/v1/acquire?resource=bus&agent=1&timeout=-1s",
+			400, "bad_request", "negative timeout"},
+		{"negative ttl", "POST", "/v1/acquire?resource=bus&agent=1&ttl=-5s",
+			400, "bad_request", "negative ttl"},
+		{"release unknown token", "POST", "/v1/release?resource=bus&token=nope",
+			404, "not_found", "unknown or expired"},
+		{"release missing token", "POST", "/v1/release?resource=bus",
+			400, "bad_request", "missing token"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, hdr, env := getEnvelope(t, tc.method, srv.URL+tc.url)
+			if status != tc.status {
+				t.Errorf("status %d, want %d", status, tc.status)
+			}
+			if ct := hdr.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type %q, want application/json", ct)
+			}
+			if env.Code != tc.code {
+				t.Errorf("code %q, want %q", env.Code, tc.code)
+			}
+			if !strings.Contains(env.Error, tc.contains) {
+				t.Errorf("error %q does not mention %q", env.Error, tc.contains)
+			}
+		})
+	}
+
+	// The queue-timeout failure carries the envelope too.
+	code, lease := httpAcquire(t, srv.URL, "bus", 1, "")
+	if code != http.StatusOK {
+		t.Fatalf("holder acquire status %d", code)
+	}
+	status, _, env := getEnvelope(t, "POST", srv.URL+"/v1/acquire?resource=bus&agent=2&timeout=1ms")
+	if status != 408 || env.Code != "deadline" {
+		t.Errorf("queued timeout: status %d code %q, want 408 deadline", status, env.Code)
+	}
+	if code := httpRelease(t, srv.URL, "bus", lease.Token); code != http.StatusOK {
+		t.Fatalf("release status %d", code)
+	}
+}
+
+// TestVersionGuard pins the /v1/ catch-all: an endpoint the daemon
+// does not speak is an enveloped 404, and a wrong method on a real
+// endpoint is an enveloped 405 naming POST in Allow — never a bare
+// mux fallthrough.
+func TestVersionGuard(t *testing.T) {
+	_, srv := newTestDaemon(t, res("bus", 4, "RR1"))
+
+	status, _, env := getEnvelope(t, "GET", srv.URL+"/v1/nosuch")
+	if status != 404 || env.Code != "not_found" {
+		t.Errorf("GET /v1/nosuch: status %d code %q, want 404 not_found", status, env.Code)
+	}
+	status, _, env = getEnvelope(t, "POST", srv.URL+"/v1/acquire/extra")
+	if status != 404 || env.Code != "not_found" {
+		t.Errorf("POST /v1/acquire/extra: status %d code %q, want 404 not_found", status, env.Code)
+	}
+	status, hdr, env := getEnvelope(t, "GET", srv.URL+"/v1/acquire?resource=bus&agent=1")
+	if status != 405 || env.Code != "method_not_allowed" {
+		t.Errorf("GET acquire: status %d code %q, want 405 method_not_allowed", status, env.Code)
+	}
+	if allow := hdr.Get("Allow"); allow != "POST" {
+		t.Errorf("Allow %q, want POST", allow)
+	}
+	status, hdr, env = getEnvelope(t, "DELETE", srv.URL+"/v1/release")
+	if status != 405 || env.Code != "method_not_allowed" {
+		t.Errorf("DELETE release: status %d code %q, want 405 method_not_allowed", status, env.Code)
+	}
+	if allow := hdr.Get("Allow"); allow != "POST" {
+		t.Errorf("Allow %q, want POST", allow)
+	}
+}
+
+// TestReleaseBody pins /v1/release's success body: the resource named
+// with the same field spelling the lease uses, plus the released flag.
+func TestReleaseBody(t *testing.T) {
+	_, srv := newTestDaemon(t, res("bus", 4, "RR1"))
+
+	code, lease := httpAcquire(t, srv.URL, "bus", 1, "")
+	if code != http.StatusOK {
+		t.Fatalf("acquire status %d", code)
+	}
+	resp, err := http.Post(srv.URL+"/v1/release?resource=bus&token="+lease.Token, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body releaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Resource != "bus" || !body.Released {
+		t.Errorf("release body = %+v, want {bus true}", body)
+	}
+}

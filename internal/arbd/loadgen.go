@@ -1,16 +1,16 @@
 package arbd
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
 	"io"
-	"net/http"
-	"net/url"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"busarb/client"
 	"busarb/internal/dist"
 	"busarb/internal/rng"
 )
@@ -22,13 +22,21 @@ import (
 // fixed per-agent request budget. The report mirrors Table 4.1 over a
 // socket: per-agent grant throughput, the bandwidth ratio t_N/t_1
 // (worst-served over best-served agent), and acquire-wait quantiles.
-// (It lives in internal/arbd rather than cmd/arbload so the CLIs stay
-// free of wall-clock reads — the determinism analyzer binds cmd/.)
+//
+// All traffic goes through the public busarb/client package — the
+// generator issues no hand-rolled requests — so the Target's scheme
+// selects the transport: "http://host:port" drives the JSON surface,
+// "tcp://host:port" the binary protocol, where every agent in the run
+// multiplexes over one persistent connection. (The generator lives in
+// internal/arbd rather than cmd/arbload so the CLIs stay free of
+// wall-clock reads — the determinism analyzer binds cmd/.)
 
 // LoadConfig describes one load run.
 type LoadConfig struct {
-	// BaseURL locates the daemon, e.g. "http://127.0.0.1:8321".
-	BaseURL string
+	// Target locates the daemon and selects the transport by scheme:
+	// "http://127.0.0.1:8321" (HTTP) or "tcp://127.0.0.1:8322"
+	// (binary).
+	Target string
 	// Resource names the arbitrated resource to pound on.
 	Resource string
 	// Agents is the number of closed-loop clients (identities 1..Agents).
@@ -51,8 +59,8 @@ type LoadConfig struct {
 // Validate checks the configuration; RunLoad returns exactly these
 // errors before touching the network.
 func (cfg LoadConfig) Validate() error {
-	if cfg.BaseURL == "" {
-		return fmt.Errorf("arbload: base URL required")
+	if cfg.Target == "" {
+		return fmt.Errorf("arbload: target required")
 	}
 	if cfg.Resource == "" {
 		return fmt.Errorf("arbload: resource name required")
@@ -77,7 +85,7 @@ type AgentLoad struct {
 	// Grants is the number of leases obtained (== the budget unless
 	// acquires timed out).
 	Grants int64
-	// Timeouts counts 408 responses.
+	// Timeouts counts deadline answers (the daemon's 408).
 	Timeouts int64
 	// Elapsed is the agent's wall time from first acquire to last
 	// release.
@@ -106,14 +114,17 @@ type LoadReport struct {
 }
 
 // RunLoad drives the workload against a live daemon and reports. An
-// unreachable daemon or a non-grant HTTP status other than 408 fails
-// the run.
+// unreachable daemon or a non-grant answer other than the deadline
+// backpressure (client.ErrDeadline) fails the run.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	base := strings.TrimSuffix(cfg.BaseURL, "/")
-	client := &http.Client{}
+	c, err := client.Dial(cfg.Target)
+	if err != nil {
+		return nil, fmt.Errorf("arbload: %w", err)
+	}
+	defer c.Close()
 
 	type agentResult struct {
 		agent AgentLoad
@@ -127,6 +138,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		srcs[i] = master.Split()
 	}
 
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	start := time.Now()
 	for id := 1; id <= cfg.Agents; id++ {
@@ -145,22 +157,23 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					time.Sleep(time.Duration(think.Sample(src) * float64(time.Second)))
 				}
 				t0 := time.Now()
-				lease, status, err := acquireOnce(client, base, cfg.Resource, id, cfg.Timeout)
-				if err != nil {
-					res.err = err
-					return
-				}
-				if status == http.StatusRequestTimeout {
+				lease, err := c.Acquire(ctx, cfg.Resource, id,
+					client.AcquireOptions{Timeout: cfg.Timeout})
+				if errors.Is(err, client.ErrDeadline) {
 					res.agent.Timeouts++
 					continue
+				}
+				if err != nil {
+					res.err = fmt.Errorf("arbload: acquire: %w", err)
+					return
 				}
 				res.waits = append(res.waits, time.Since(t0))
 				res.agent.Grants++
 				if cfg.Hold > 0 {
 					time.Sleep(cfg.Hold)
 				}
-				if err := releaseOnce(client, base, cfg.Resource, lease.Token); err != nil {
-					res.err = err
+				if err := c.Release(ctx, lease); err != nil {
+					res.err = fmt.Errorf("arbload: release: %w", err)
 					return
 				}
 			}
@@ -201,54 +214,6 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	return rep, nil
 }
 
-// acquireOnce performs one acquire; a 408 is a reported non-grant, any
-// other non-200 status is an error.
-func acquireOnce(client *http.Client, base, resource string, agent int, timeout time.Duration) (Lease, int, error) {
-	v := url.Values{}
-	v.Set("resource", resource)
-	v.Set("agent", fmt.Sprintf("%d", agent))
-	if timeout > 0 {
-		v.Set("timeout", timeout.String())
-	}
-	resp, err := client.Post(base+"/v1/acquire?"+v.Encode(), "", nil)
-	if err != nil {
-		return Lease{}, 0, fmt.Errorf("arbload: acquire: %v", err)
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		var lease Lease
-		if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
-			return Lease{}, 0, fmt.Errorf("arbload: bad acquire response: %v", err)
-		}
-		return lease, resp.StatusCode, nil
-	case http.StatusRequestTimeout:
-		io.Copy(io.Discard, resp.Body)
-		return Lease{}, resp.StatusCode, nil
-	default:
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return Lease{}, resp.StatusCode, fmt.Errorf("arbload: acquire got %d: %s",
-			resp.StatusCode, strings.TrimSpace(string(body)))
-	}
-}
-
-// releaseOnce performs one release.
-func releaseOnce(client *http.Client, base, resource, token string) error {
-	v := url.Values{}
-	v.Set("resource", resource)
-	v.Set("token", token)
-	resp, err := client.Post(base+"/v1/release?"+v.Encode(), "", nil)
-	if err != nil {
-		return fmt.Errorf("arbload: release: %v", err)
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("arbload: release got %d", resp.StatusCode)
-	}
-	return nil
-}
-
 // durQuantile returns the q-quantile (nearest-rank) of the samples.
 func durQuantile(samples []time.Duration, q float64) time.Duration {
 	if len(samples) == 0 {
@@ -268,8 +233,8 @@ func durQuantile(samples []time.Duration, q float64) time.Duration {
 
 // WriteReport renders the report as the arbload CLI's output.
 func (r *LoadReport) WriteReport(w io.Writer, cfg LoadConfig) error {
-	if _, err := fmt.Fprintf(w, "arbload: %d agents x %d requests on %q (%.2fs)\n",
-		cfg.Agents, cfg.Requests, cfg.Resource, r.Elapsed.Seconds()); err != nil {
+	if _, err := fmt.Fprintf(w, "arbload: %d agents x %d requests on %q via %s (%.2fs)\n",
+		cfg.Agents, cfg.Requests, cfg.Resource, targetScheme(cfg.Target), r.Elapsed.Seconds()); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "  %5s %8s %9s %11s %10s %10s %10s\n",
@@ -288,4 +253,13 @@ func (r *LoadReport) WriteReport(w io.Writer, cfg LoadConfig) error {
 		r.BandwidthRatio, r.WaitP50.Round(time.Microsecond),
 		r.WaitP90.Round(time.Microsecond), r.WaitMax.Round(time.Microsecond))
 	return err
+}
+
+// targetScheme names the transport a target selects, for the report
+// header.
+func targetScheme(target string) string {
+	if i := strings.Index(target, "://"); i > 0 {
+		return target[:i]
+	}
+	return "?"
 }

@@ -92,7 +92,10 @@ func TestCLIFailurePathsExitNonZero(t *testing.T) {
 		{"arbd empty resource list", "arbd", []string{"-resources", " , "}, "", 1, "names no resources"},
 		{"arbd unknown protocol", "arbd", []string{"-resources", "bus:4:BOGUS"}, "", 1, "unknown protocol"},
 		{"arbd unlistenable address", "arbd", []string{"-addr", "256.0.0.1:0", "-resources", "bus:2:RR1"}, "", 1, ""},
-		{"arbload unreachable daemon", "arbload", []string{"-addr", "http://127.0.0.1:1", "-resource", "bus", "-agents", "1", "-requests", "1"}, "", 1, "acquire"},
+		{"arbd unlistenable binary address", "arbd", []string{"-addr", "127.0.0.1:0", "-baddr", "256.0.0.1:0", "-resources", "bus:2:RR1"}, "", 1, ""},
+		{"arbload unreachable daemon", "arbload", []string{"-target", "http://127.0.0.1:1", "-resource", "bus", "-agents", "1", "-requests", "1"}, "", 1, "acquire"},
+		{"arbload unreachable binary daemon", "arbload", []string{"-target", "tcp://127.0.0.1:1", "-resource", "bus", "-agents", "1", "-requests", "1"}, "", 1, "dial"},
+		{"arbload schemeless target", "arbload", []string{"-target", "127.0.0.1:8321", "-agents", "1", "-requests", "1"}, "", 1, "scheme"},
 		{"arbload bad agent count", "arbload", []string{"-agents", "0"}, "", 1, "at least 1 agent"},
 		{"flag parse errors keep the flag convention", "arbsim", []string{"-nosuchflag"}, "", 2, "flag provided but not defined"},
 		{"arbd flag convention", "arbd", []string{"-nosuchflag"}, "", 2, "flag provided but not defined"},
@@ -172,8 +175,8 @@ func TestBenchJSONStampReproducible(t *testing.T) {
 }
 
 // TestArbdLifecycle pins the daemon's process contract end to end: it
-// announces its listen address on stdout, serves a real arbload run,
-// and a SIGTERM is a clean exit 0.
+// announces both listen addresses on stdout, serves a real arbload run
+// over each transport, and a SIGTERM is a clean exit 0.
 func TestArbdLifecycle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("starts a real daemon")
@@ -181,7 +184,8 @@ func TestArbdLifecycle(t *testing.T) {
 	bins := buildCmds(t)
 
 	daemon := exec.Command(bins["arbd"],
-		"-addr", "127.0.0.1:0", "-resources", "bus:4:RR1,disk:2:FCFS2", "-tick", "200us")
+		"-addr", "127.0.0.1:0", "-baddr", "127.0.0.1:0",
+		"-resources", "bus:4:RR1,disk:2:FCFS2", "-tick", "200us")
 	stdout, err := daemon.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -193,31 +197,39 @@ func TestArbdLifecycle(t *testing.T) {
 	}
 	defer daemon.Process.Kill() // no-op after a clean Wait
 
-	// The first stdout line carries the bound address.
+	// The leading stdout lines carry the bound addresses.
 	lines := bufio.NewScanner(stdout)
 	addrCh := make(chan string, 1)
+	baddrCh := make(chan string, 1)
 	go func() {
 		for lines.Scan() {
 			line := lines.Text()
-			if rest, ok := strings.CutPrefix(line, "arbd: listening on "); ok {
+			if rest, ok := strings.CutPrefix(line, "arbd: binary listening on "); ok {
+				baddrCh <- rest
+			} else if rest, ok := strings.CutPrefix(line, "arbd: listening on "); ok {
 				addrCh <- rest
 			}
 		}
 	}()
-	var addr string
-	select {
-	case addr = <-addrCh:
-	case <-time.After(10 * time.Second):
-		t.Fatalf("daemon never announced its address (stderr: %s)", stderr.String())
+	var addr, baddr string
+	for addr == "" || baddr == "" {
+		select {
+		case addr = <-addrCh:
+		case baddr = <-baddrCh:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon never announced its addresses (stderr: %s)", stderr.String())
+		}
 	}
 
-	code, out := runStdout(t, bins["arbload"],
-		"", "-addr", "http://"+addr, "-resource", "bus", "-agents", "3", "-requests", "5")
-	if code != 0 {
-		t.Fatalf("arbload exited %d against a live daemon", code)
-	}
-	if !strings.Contains(out, "bandwidth ratio t_N/t_1") {
-		t.Errorf("arbload report missing the bandwidth ratio line:\n%s", out)
+	for _, target := range []string{"http://" + addr, "tcp://" + baddr} {
+		code, out := runStdout(t, bins["arbload"],
+			"", "-target", target, "-resource", "bus", "-agents", "3", "-requests", "5")
+		if code != 0 {
+			t.Fatalf("arbload exited %d against a live daemon at %s", code, target)
+		}
+		if !strings.Contains(out, "bandwidth ratio t_N/t_1") {
+			t.Errorf("arbload report for %s missing the bandwidth ratio line:\n%s", target, out)
+		}
 	}
 
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
