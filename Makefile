@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json check fuzz paper examples examples-smoke trace-demo clean
+.PHONY: all build vet lint test race bench bench-json bench-gate check fuzz paper examples examples-smoke trace-demo clean
 
 all: build vet test
 
@@ -51,6 +51,18 @@ bench:
 # trajectory; commit the snapshot alongside perf-relevant PRs).
 bench-json:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
+
+# The bench-regression gate: rerun the suite (short benchtime — only
+# allocs/op is compared, and allocation counts don't depend on it) and
+# diff against the newest committed snapshot. ns/op is not gated here
+# because the hardware differs run to run; use
+# `benchjson -compare -ns-threshold=0.25 old new` manually for timing.
+BENCHTIME ?= 100ms
+bench-gate:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | \
+		$(GO) run ./cmd/benchjson -stamp=false -o /tmp/busarb-bench-new.json
+	$(GO) run ./cmd/benchjson -compare -ns-threshold=-1 \
+		$$(ls BENCH_*.json | sort | tail -1) /tmp/busarb-bench-new.json
 
 # FUZZTIME is overridable so CI can run a quick smoke
 # (`make fuzz FUZZTIME=10s`) while local runs default to 30s per target.

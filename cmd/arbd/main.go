@@ -8,6 +8,7 @@
 //
 //	arbd -addr :8321 -resources bus:10:RR1
 //	arbd -resources "bus:10:RR1,disk:4:FCFS2" -tick 500us -ttl 5s
+//	arbd -resources bus:8x4:RR1/FCFS2     # 4 clusters of 8, tree arbitration
 //	arbd -addr 127.0.0.1:0 -resources bus:8:FP   # free port, printed
 //	arbd -addr :8321 -baddr :8322                # HTTP and binary
 //
@@ -31,10 +32,15 @@ import (
 	"time"
 
 	"busarb/internal/arbd"
+	"busarb/internal/topo"
 )
 
 // parseResources parses the -resources spec: a comma-separated list of
 // name:agents:protocol triples sharing the flag-level timing knobs.
+// The agents and protocol fields may describe an arbitration tree,
+// level by level from the leaves: "bus:8x4:RR1/FCFS2" is 4 clusters of
+// 8 agents arbitrating under RR1, cluster winners competing under
+// FCFS2 at the root.
 func parseResources(spec string, tick, ttl time.Duration, queue int, window float64) ([]arbd.ResourceConfig, error) {
 	var out []arbd.ResourceConfig
 	for _, part := range strings.Split(spec, ",") {
@@ -46,19 +52,28 @@ func parseResources(spec string, tick, ttl time.Duration, queue int, window floa
 		if len(fields) != 3 {
 			return nil, fmt.Errorf("arbd: bad resource spec %q, want name:agents:protocol", part)
 		}
-		agents, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("arbd: bad agent count in %q: %v", part, err)
-		}
-		out = append(out, arbd.ResourceConfig{
+		rc := arbd.ResourceConfig{
 			Name:          fields[0],
-			Agents:        agents,
-			Protocol:      fields[2],
 			Tick:          tick,
 			TTL:           ttl,
 			MaxQueue:      queue,
 			MetricsWindow: window,
-		})
+		}
+		if strings.Contains(fields[1], "x") || strings.Contains(fields[2], "/") {
+			tree, err := topo.ParseUniform(fields[1], fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("arbd: bad tree spec %q: %v", part, err)
+			}
+			rc.Topo = tree
+		} else {
+			agents, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("arbd: bad agent count in %q: %v", part, err)
+			}
+			rc.Agents = agents
+			rc.Protocol = fields[2]
+		}
+		out = append(out, rc)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("arbd: -resources spec %q names no resources", spec)
@@ -70,7 +85,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8321", "HTTP listen address (host:port; port 0 picks a free port)")
 	baddr := flag.String("baddr", "", "binary-protocol listen address (empty: binary transport off)")
 	resources := flag.String("resources", "bus:10:RR1",
-		"comma-separated resource specs, each name:agents:protocol")
+		"comma-separated resource specs, each name:agents:protocol (tree form: name:8x4:RR1/FCFS2, leaves first)")
 	tick := flag.Duration("tick", 0, "bus-cycle tick for every resource (0: 1ms default)")
 	ttl := flag.Duration("ttl", 0, "maximum lease lifetime (0: 30s default)")
 	queue := flag.Int("queue", 0, "max queued waiters per resource (0: 1024 default)")
@@ -108,7 +123,11 @@ func main() {
 		fmt.Printf("arbd: binary listening on %s\n", bln.Addr())
 	}
 	for _, rc := range rcs {
-		fmt.Printf("arbd: serving %q to %d agents under %s\n", rc.Name, rc.Agents, rc.Protocol)
+		agents := rc.Agents
+		if rc.Topo != nil {
+			agents = rc.Topo.TotalAgents()
+		}
+		fmt.Printf("arbd: serving %q to %d agents under %s\n", rc.Name, agents, rc.ProtocolName())
 	}
 
 	srv := &http.Server{Handler: d.Handler()}

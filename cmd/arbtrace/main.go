@@ -7,6 +7,7 @@
 //
 //	arbtrace -ids 85,28                 # the paper's §2.1 example (1010101 vs 0011100)
 //	arbtrace -n 8 -protocol RR1 -ticks 40
+//	arbtrace -topo 4x2:RR1/FCFS2 -ticks 60   # hierarchical trace with per-hop waits
 package main
 
 import (
@@ -16,10 +17,12 @@ import (
 	"strconv"
 	"strings"
 
+	"busarb/internal/bussim"
 	"busarb/internal/contention"
 	"busarb/internal/cyclesim"
 	"busarb/internal/ident"
 	"busarb/internal/obs"
+	"busarb/internal/topo"
 )
 
 func main() {
@@ -29,9 +32,17 @@ func main() {
 		protoName = flag.String("protocol", "RR1", "line-level protocol: FP, RR1, RR2, RR3, FCFS1, FCFS2, AAP1, AAP2")
 		ticks     = flag.Int("ticks", 40, "cycle-level ticks to trace")
 		seed      = flag.Uint64("seed", 1, "random seed for request arrivals")
+		topoSpec  = flag.String("topo", "", "trace an arbitration tree instead: dims:protos, leaves first (e.g. 4x2:RR1/FCFS2)")
 	)
 	flag.Parse()
 
+	if *topoSpec != "" {
+		if err := traceTopology(*topoSpec, *ticks, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := traceSettle(*ids); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -99,6 +110,57 @@ func (printProbe) OnEvent(e obs.Event) {
 	case obs.ServiceStart:
 		fmt.Printf("  tick %3.0f: agent %d becomes bus master\n", e.Time, e.Agent)
 	}
+}
+
+// hopProbe renders a tree run's event stream, one line per event; the
+// per-level ArbitrationResolve events carry each hop's wait (time from
+// the winning line's assertion at that node to the grant).
+type hopProbe struct{}
+
+func (hopProbe) OnEvent(e obs.Event) {
+	switch e.Kind {
+	case obs.RequestIssued:
+		fmt.Printf("  t %7.2f: agent %d asserts its request line\n", e.Time, e.Agent)
+	case obs.Repass:
+		fmt.Printf("  t %7.2f: empty arbitration pass (repass)\n", e.Time)
+	case obs.ArbitrationResolve:
+		fmt.Printf("  t %7.2f: level %d grants toward agent %d (hop wait %.2f)\n",
+			e.Time, e.Level, e.Agent, e.Wait)
+	case obs.ServiceStart:
+		fmt.Printf("  t %7.2f: agent %d becomes bus master\n", e.Time, e.Agent)
+	}
+}
+
+// traceTopology runs a short hierarchical simulation and prints every
+// grant hop by hop.
+func traceTopology(specArg string, ticks int, seed uint64) error {
+	parts := strings.SplitN(specArg, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("arbtrace: bad -topo spec %q, want dims:protos (e.g. 4x2:RR1/FCFS2)", specArg)
+	}
+	spec, err := topo.ParseUniform(parts[0], parts[1])
+	if err != nil {
+		return fmt.Errorf("arbtrace: bad -topo spec %q: %v", specArg, err)
+	}
+	n := spec.TotalAgents()
+	if n < 2 {
+		return fmt.Errorf("arbtrace: need at least 2 agents, got %d", n)
+	}
+	cfg := bussim.Config{
+		N:        n,
+		Topology: spec,
+		Inter:    bussim.UniformLoad(n, 1.5, 1.0, 1.0),
+		Seed:     seed,
+		Horizon:  float64(ticks),
+		Observer: hopProbe{},
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("arbtrace: %w", err)
+	}
+	fmt.Printf("Arbitration tree %s, %d agents, depth %d:\n", spec.Name(), n, spec.Depth())
+	res := bussim.Run(cfg)
+	fmt.Printf("totals: %d completions over %.1f time units\n", res.Completions, res.Elapsed)
+	return nil
 }
 
 func traceProtocol(name string, n, ticks int, seed uint64) error {

@@ -46,6 +46,8 @@ func TestAnalyzerScope(t *testing.T) {
 		{analysis.Determinism, "busarb/internal/bitarb", true},
 		{analysis.Determinism, "busarb/internal/arbd", false},
 		{analysis.Determinism, "busarb/internal/arbd/codec", true},
+		{analysis.Determinism, "busarb/internal/topo", true},
+		{analysis.NilProbe, "busarb/internal/topo", true},
 		{analysis.NilProbe, "busarb/internal/grant", true},
 		{analysis.NilProbe, "busarb/internal/arbd/codec", true},
 		{analysis.NilProbe, "busarb/internal/bitarb", true},

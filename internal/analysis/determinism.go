@@ -28,6 +28,10 @@ var simPackagePaths = []string{
 	// (internal/arbd is deliberately absent: its shard loops are
 	// wall-clock by design — tickers, lease TTLs, client deadlines.)
 	"internal/grant",
+	// The arbitration-tree layer composes core protocols and grant
+	// schedulers into hierarchies; both its faces sit on simulator and
+	// daemon hot paths, so it inherits both packages' discipline.
+	"internal/topo",
 	// The binary wire codec: pure byte-shuffling on the daemon's hot
 	// path, so it must stay clock-free and allocation-free like the
 	// kernels. (Its parent internal/arbd stays excluded; the suffix

@@ -29,17 +29,25 @@ import (
 
 	"busarb/internal/grant"
 	"busarb/internal/obs"
+	"busarb/internal/topo"
 )
 
 // ResourceConfig describes one arbitrated resource (one shard).
 type ResourceConfig struct {
 	// Name identifies the resource in URLs (non-empty, unique).
 	Name string
-	// Agents is the number of arbitrating identities, 1..Agents.
+	// Agents is the number of arbitrating identities, 1..Agents. With
+	// Topo set it may be left 0 (the tree's total) but must match the
+	// tree when given.
 	Agents int
 	// Protocol names the grant scheduler ("FP", "RR1", "RR3", "FCFS1",
-	// "FCFS2").
+	// "FCFS2"). Set exactly one of Protocol and Topo.
 	Protocol string
+	// Topo, if non-nil, arbitrates the resource hierarchically: agents
+	// compete in clusters and cluster winners compete upward, each node
+	// running its own protocol (internal/topo's grant face). Agent
+	// identities map onto leaves depth-first.
+	Topo *topo.Spec
 	// Tick is the bus cycle: pending acquires are batched and at most
 	// one arbitration resolves per tick. Default 1ms.
 	Tick time.Duration
@@ -53,8 +61,21 @@ type ResourceConfig struct {
 	MetricsWindow float64
 }
 
+// ProtocolName names the resource's arbitration discipline for status
+// surfaces: the scheduler name, or the tree's composite name (e.g.
+// "FCFS2(4xRR1:8)").
+func (rc ResourceConfig) ProtocolName() string {
+	if rc.Topo != nil {
+		return rc.Topo.Name()
+	}
+	return rc.Protocol
+}
+
 // withDefaults returns rc with zero fields filled in.
 func (rc ResourceConfig) withDefaults() ResourceConfig {
+	if rc.Topo != nil && rc.Agents == 0 {
+		rc.Agents = rc.Topo.TotalAgents()
+	}
 	if rc.Tick == 0 {
 		rc.Tick = time.Millisecond
 	}
@@ -94,11 +115,28 @@ func (cfg Config) Validate() error {
 			return fmt.Errorf("arbd: duplicate resource %q", rc.Name)
 		}
 		seen[rc.Name] = true
-		if rc.Agents < 1 {
-			return fmt.Errorf("arbd: resource %q needs at least 1 agent, got %d", rc.Name, rc.Agents)
-		}
-		if _, err := grant.ByName(rc.Protocol); err != nil {
-			return fmt.Errorf("arbd: resource %q: %v", rc.Name, err)
+		switch {
+		case rc.Topo != nil:
+			if rc.Protocol != "" {
+				return fmt.Errorf("arbd: resource %q: set Protocol or Topo, not both", rc.Name)
+			}
+			if err := rc.Topo.Validate(func(name string) error {
+				_, err := grant.ByName(name)
+				return err
+			}); err != nil {
+				return fmt.Errorf("arbd: resource %q: %v", rc.Name, err)
+			}
+			if total := rc.Topo.TotalAgents(); rc.Agents != 0 && rc.Agents != total {
+				return fmt.Errorf("arbd: resource %q: Agents %d does not match the tree's %d",
+					rc.Name, rc.Agents, total)
+			}
+		default:
+			if rc.Agents < 1 {
+				return fmt.Errorf("arbd: resource %q needs at least 1 agent, got %d", rc.Name, rc.Agents)
+			}
+			if _, err := grant.ByName(rc.Protocol); err != nil {
+				return fmt.Errorf("arbd: resource %q: %v", rc.Name, err)
+			}
 		}
 		if rc.Tick < 0 || rc.TTL < 0 || rc.MaxQueue < 0 || rc.MetricsWindow < 0 {
 			return fmt.Errorf("arbd: resource %q has negative timing/queue parameters", rc.Name)
@@ -124,11 +162,21 @@ func New(cfg Config) (*Daemon, error) {
 	d := &Daemon{shards: make(map[string]*shard, len(cfg.Resources)), epoch: time.Now()}
 	for _, rc := range cfg.Resources {
 		rc = rc.withDefaults()
-		f, err := grant.ByName(rc.Protocol)
-		if err != nil {
-			return nil, err // unreachable after Validate; kept for safety
+		var sched grant.Scheduler
+		if rc.Topo != nil {
+			tree, err := topo.NewGrantTree(rc.Topo)
+			if err != nil {
+				return nil, err // unreachable after Validate; kept for safety
+			}
+			sched = tree
+		} else {
+			f, err := grant.ByName(rc.Protocol)
+			if err != nil {
+				return nil, err // unreachable after Validate; kept for safety
+			}
+			sched = f(rc.Agents)
 		}
-		s := newShard(rc, f(rc.Agents), d.epoch, cfg.Observer)
+		s := newShard(rc, sched, d.epoch, cfg.Observer)
 		d.shards[rc.Name] = s
 		d.names = append(d.names, rc.Name)
 		go s.loop()

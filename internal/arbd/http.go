@@ -214,7 +214,7 @@ func (d *Daemon) Metrics() map[string]ResourceMetrics {
 	for _, name := range d.names {
 		s := d.shards[name]
 		rm := ResourceMetrics{
-			Protocol: s.cfg.Protocol,
+			Protocol: s.cfg.ProtocolName(),
 			Agents:   make([]AgentMetrics, s.cfg.Agents),
 		}
 		s.probe.Do(func() {

@@ -31,14 +31,23 @@ import (
 	"busarb/internal/rng"
 	"busarb/internal/sim"
 	"busarb/internal/stats"
+	"busarb/internal/topo"
 )
 
 // Config describes one simulation run.
 type Config struct {
 	// N is the number of agents (identities 1..N).
 	N int
-	// Protocol builds the arbitration protocol under test.
+	// Protocol builds the arbitration protocol under test. Set exactly
+	// one of Protocol and Topology.
 	Protocol core.Factory
+	// Topology, if non-nil, arbitrates over a tree of clusters instead
+	// of one flat bus (topo.SimTree drives the same cycle loop through
+	// the core.Protocol face). N must equal Topology.TotalAgents().
+	// Tree runs emit one ArbitrationResolve event per level of the
+	// winner's path, carrying Level and the per-hop Wait; Window > 1
+	// is not supported on trees.
+	Topology *topo.Spec
 	// Service is the bus transaction time; 0 means the paper's 1.0.
 	Service float64
 	// ServiceDist, if non-nil, draws each transaction's duration from a
@@ -293,6 +302,7 @@ type system struct {
 	cfg      Config
 	sched    sim.Scheduler
 	proto    core.Protocol
+	tree     *topo.SimTree       // non-nil iff cfg.Topology is set (== proto)
 	classReq core.ClassRequester // nil if the protocol ignores classes
 	agents   []*agentState       // index by id (0 unused)
 
@@ -340,8 +350,24 @@ func (cfg Config) Validate() error {
 	if cfg.N <= 0 {
 		return fmt.Errorf("bussim: N must be positive")
 	}
-	if cfg.Protocol == nil {
+	switch {
+	case cfg.Protocol == nil && cfg.Topology == nil:
 		return fmt.Errorf("bussim: Protocol factory required")
+	case cfg.Protocol != nil && cfg.Topology != nil:
+		return fmt.Errorf("bussim: set exactly one of Protocol and Topology")
+	case cfg.Topology != nil:
+		if err := cfg.Topology.Validate(func(name string) error {
+			_, err := core.ByName(name)
+			return err
+		}); err != nil {
+			return err
+		}
+		if total := cfg.Topology.TotalAgents(); total != cfg.N {
+			return fmt.Errorf("bussim: Topology has %d agents, want N=%d", total, cfg.N)
+		}
+		if cfg.Window > 1 {
+			return fmt.Errorf("bussim: Window %d > 1 not supported on a Topology", cfg.Window)
+		}
 	}
 	switch {
 	case cfg.Sources != nil && cfg.Inter != nil:
@@ -405,7 +431,18 @@ func Run(cfg Config) *Result {
 		cfg.Warmup = 0
 	}
 
-	proto := cfg.Protocol(cfg.N)
+	var proto core.Protocol
+	var tree *topo.SimTree
+	if cfg.Topology != nil {
+		var err error
+		tree, err = topo.NewSimTree(cfg.Topology)
+		if err != nil {
+			panic(err)
+		}
+		proto = tree
+	} else {
+		proto = cfg.Protocol(cfg.N)
+	}
 	if proto.N() != cfg.N {
 		panic("bussim: protocol built for wrong N")
 	}
@@ -424,6 +461,7 @@ func Run(cfg Config) *Result {
 	s := &system{
 		cfg:            cfg,
 		proto:          proto,
+		tree:           tree,
 		service:        cfg.Service,
 		arbOvh:         cfg.ArbOverhead,
 		warmupLeft:     int64(cfg.Warmup),
@@ -603,7 +641,20 @@ func (s *system) resolveArbitration() {
 	s.res.Arbitrations++
 	s.arbitrating = false
 	w := out.Winner
-	s.emit(obs.Event{Time: s.sched.Now(), Kind: obs.ArbitrationResolve, Agent: w})
+	if s.tree != nil && s.cfg.Observer != nil {
+		// One resolve event per level of the winner's path, root
+		// first: the same settle seen at each bus of the tree. Wait is
+		// the hop wait — resolve time minus the assert time of that
+		// level's winning line. Metrics counts only the level-0 event
+		// as an arbitration.
+		now := s.sched.Now()
+		for _, h := range s.tree.LastHops() {
+			s.emit(obs.Event{Time: now, Kind: obs.ArbitrationResolve, Agent: w,
+				Level: h.Level, Wait: now - h.LineUp})
+		}
+	} else {
+		s.emit(obs.Event{Time: s.sched.Now(), Kind: obs.ArbitrationResolve, Agent: w})
+	}
 	if !s.agents[w].waiting() {
 		panic(fmt.Sprintf("bussim: protocol %s granted non-waiting agent %d", s.proto.Name(), w))
 	}

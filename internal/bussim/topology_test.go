@@ -1,0 +1,184 @@
+package bussim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"busarb/internal/core"
+	"busarb/internal/obs"
+	"busarb/internal/topo"
+)
+
+// TestDepth1TopologyBitIdentical is the refactor's safety net: a
+// single-leaf tree must replay bit-identically to the flat bus —
+// same winner event sequence, same aggregate numbers, same per-agent
+// waits — for every protocol the flat path supports, including RR3's
+// repasses.
+func TestDepth1TopologyBitIdentical(t *testing.T) {
+	for _, proto := range []string{"FP", "RR1", "RR3", "FCFS1", "FCFS2"} {
+		t.Run(proto, func(t *testing.T) {
+			f, err := core.ByName(proto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 8
+			base := Config{
+				N:       n,
+				Inter:   UniformLoad(n, 1.5, 1.0, 1.0),
+				Seed:    42,
+				Batches: 4, BatchSize: 500,
+			}
+			flatCfg := base
+			flatCfg.Protocol = f
+			treeCfg := base
+			treeCfg.Topology = &topo.Spec{Protocol: proto, Agents: n}
+
+			var flatTrace, treeTrace obs.Buffer
+			flatCfg.Observer = &flatTrace
+			treeCfg.Observer = &treeTrace
+			flat := Run(flatCfg)
+			tree := Run(treeCfg)
+
+			// The tree's resolve events additionally carry the hop wait;
+			// everything else must be identical, event for event.
+			fe, te := flatTrace.Events(), treeTrace.Events()
+			if len(fe) != len(te) {
+				t.Fatalf("event counts differ: flat %d, tree %d", len(fe), len(te))
+			}
+			for i := range te {
+				ev := te[i]
+				if ev.Kind == obs.ArbitrationResolve {
+					if ev.Wait <= 0 {
+						t.Fatalf("event %d: tree resolve has no hop wait: %+v", i, ev)
+					}
+					ev.Wait = 0
+					ev.Level = 0
+				}
+				if !reflect.DeepEqual(ev, fe[i]) {
+					t.Fatalf("event %d differs: flat %+v, tree %+v", i, fe[i], te[i])
+				}
+			}
+
+			// Results are bit-identical (the Instance is the protocol
+			// object itself and necessarily differs).
+			flat.Instance, tree.Instance = nil, nil
+			if !reflect.DeepEqual(flat, tree) {
+				t.Errorf("results differ:\nflat: %+v\ntree: %+v", flat, tree)
+			}
+		})
+	}
+}
+
+// TestTopologyHybrid1024 is the headline study's harness at test
+// scale: 32 clusters of 32 agents, local RR1 feeding a global FCFS2
+// (the §5 hybrid generalized to hierarchy), on the bit-parallel
+// kernel. Per-hop waits flow through obs.Metrics at both levels.
+func TestTopologyHybrid1024(t *testing.T) {
+	spec, err := topo.Uniform([]int{32, 32}, []string{"RR1", "FCFS2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1024
+	metrics := obs.NewMetrics(500)
+	res := Run(Config{
+		N:        n,
+		Topology: spec,
+		Inter:    UniformLoad(n, 2.0, 1.0, 1.0), // saturated
+		Seed:     9,
+		Batches:  3, BatchSize: 1000,
+		Observer: obs.Multi{metrics},
+	})
+	if res.ProtocolName != "FCFS2(32xRR1:32)" {
+		t.Errorf("ProtocolName = %q", res.ProtocolName)
+	}
+	if res.Completions != 3000 {
+		t.Fatalf("Completions = %d, want 3000", res.Completions)
+	}
+	if res.Utilization.Mean < 0.95 {
+		t.Errorf("saturated bus utilization = %v, want ~1", res.Utilization.Mean)
+	}
+	metrics.Flush(res.WallTime)
+	sawBoth := false
+	for _, w := range metrics.Windows() {
+		if len(w.Hops) < 2 {
+			continue
+		}
+		sawBoth = true
+		if w.Hops[0].Level != 0 || w.Hops[1].Level != 1 {
+			t.Fatalf("hop levels = %+v, want 0 and 1", w.Hops)
+		}
+		for _, h := range w.Hops {
+			if h.Resolves <= 0 || h.WaitMean <= 0 {
+				t.Errorf("degenerate hop window %+v", h)
+			}
+			if h.WaitP50 > h.WaitP90 || h.WaitP90 > h.WaitMax {
+				t.Errorf("hop quantiles out of order: %+v", h)
+			}
+		}
+		// Every grant resolves once per level.
+		if w.Hops[0].Resolves != w.Hops[1].Resolves {
+			t.Errorf("level resolve counts differ: %+v", w.Hops)
+		}
+	}
+	if !sawBoth {
+		t.Error("no metrics window saw both hop levels")
+	}
+}
+
+// TestTopologySteadyStateAllocs extends the nil-Observer allocation
+// pin to tree runs: doubling the simulated events must not change the
+// allocation count.
+func TestTopologySteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime adds a few mallocs per run; the exact pin runs in the non-race suite")
+	}
+	spec, err := topo.Uniform([]int{8, 4}, []string{"RR1", "FCFS2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := func(batches int) Config {
+		return Config{
+			N:        32,
+			Topology: spec,
+			Inter:    UniformLoad(32, 2.0, 1.0, 1.0),
+			Seed:     5,
+			Batches:  batches, BatchSize: 200,
+		}
+	}
+	Run(cfg(1))
+	base := testing.AllocsPerRun(3, func() { Run(cfg(2)) })
+	doubled := testing.AllocsPerRun(3, func() { Run(cfg(4)) })
+	if doubled != base {
+		t.Errorf("allocs grew with event count: %v for 2 batches vs %v for 4; "+
+			"the tree per-event path must be allocation-free", base, doubled)
+	}
+}
+
+// TestTopologyValidate pins the config surface's error cases.
+func TestTopologyValidate(t *testing.T) {
+	f, _ := core.ByName("RR1")
+	leaf := &topo.Spec{Protocol: "RR1", Agents: 4}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"both", Config{N: 4, Protocol: f, Topology: leaf,
+			Inter: UniformLoad(4, 1, 1, 1)}, "exactly one"},
+		{"agents mismatch", Config{N: 5, Topology: leaf,
+			Inter: UniformLoad(5, 1, 1, 1)}, "Topology has 4 agents"},
+		{"window", Config{N: 4, Topology: leaf, Window: 2,
+			Inter: UniformLoad(4, 1, 1, 1)}, "not supported on a Topology"},
+		{"bad proto", Config{N: 4, Topology: &topo.Spec{Protocol: "zzz", Agents: 4},
+			Inter: UniformLoad(4, 1, 1, 1)}, "unknown protocol"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Validate = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ package clitest
 
 import (
 	"bufio"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
@@ -79,6 +80,8 @@ func TestCLIFailurePathsExitNonZero(t *testing.T) {
 		{"arbsim bad trace path", "arbsim", []string{"-n", "4", "-batches", "2", "-batchsize", "100", "-trace", "/nonexistent/dir/t.jsonl"}, "", 1, "no such file"},
 		{"arbsim non-positive metrics window", "arbsim", []string{"-n", "4", "-batches", "2", "-batchsize", "100", "-metrics-window", "0"}, "", 1, "must be positive"},
 		{"arbtrace bad identity", "arbtrace", []string{"-ids", "0"}, "", 1, "bad identity"},
+		{"arbtrace bad topo spec", "arbtrace", []string{"-topo", "4x2"}, "", 1, "bad -topo spec"},
+		{"arbtrace topo unknown protocol", "arbtrace", []string{"-topo", "4x2:RR1/BOGUS"}, "", 1, "unknown protocol"},
 		{"arbtrace unknown protocol", "arbtrace", []string{"-protocol", "Hybrid"}, "", 1, "no line-level model"},
 		{"arbverify cross unknown protocol", "arbverify", []string{"-cross", "-protocol", "Hybrid"}, "", 1, "no line-level model"},
 		{"arbtrace too few agents", "arbtrace", []string{"-n", "1"}, "", 1, "at least 2 agents"},
@@ -87,10 +90,16 @@ func TestCLIFailurePathsExitNonZero(t *testing.T) {
 		{"arbverify refuted bound", "arbverify", []string{"-protocol", "FP", "-n", "3", "-bound", "2"}, "", 1, ""},
 		{"benchjson empty stdin", "benchjson", nil, " ", 1, "no benchmark lines"},
 		{"benchjson malformed input", "benchjson", nil, "BenchmarkX abc 5 ns/op\n", 1, "bad iteration count"},
+		{"benchjson compare wants two args", "benchjson", []string{"-compare", "only.json"}, "", 1, "exactly two arguments"},
+		{"benchjson compare missing file", "benchjson", []string{"-compare", "/nonexistent/a.json", "/nonexistent/b.json"}, "", 1, "no such file"},
+		{"benchjson compare catches alloc regression", "benchjson", []string{"-compare", "-ns-threshold=-1", "testdata/bench-old.json", "testdata/bench-regressed.json"}, "", 1, "allocs/op"},
 		{"arbd malformed resource spec", "arbd", []string{"-resources", "busRR1"}, "", 1, "bad resource spec"},
 		{"arbd bad agent count", "arbd", []string{"-resources", "bus:ten:RR1"}, "", 1, "bad agent count"},
 		{"arbd empty resource list", "arbd", []string{"-resources", " , "}, "", 1, "names no resources"},
 		{"arbd unknown protocol", "arbd", []string{"-resources", "bus:4:BOGUS"}, "", 1, "unknown protocol"},
+		{"arbd malformed tree dims", "arbd", []string{"-resources", "bus:8x:RR1/FCFS2"}, "", 1, "bad tree spec"},
+		{"arbd tree level mismatch", "arbd", []string{"-resources", "bus:8x4:RR1"}, "", 1, "bad tree spec"},
+		{"arbd tree unknown protocol", "arbd", []string{"-resources", "bus:8x4:RR1/BOGUS"}, "", 1, "unknown protocol"},
 		{"arbd unlistenable address", "arbd", []string{"-addr", "256.0.0.1:0", "-resources", "bus:2:RR1"}, "", 1, ""},
 		{"arbd unlistenable binary address", "arbd", []string{"-addr", "127.0.0.1:0", "-baddr", "256.0.0.1:0", "-resources", "bus:2:RR1"}, "", 1, ""},
 		{"arbload unreachable daemon", "arbload", []string{"-target", "http://127.0.0.1:1", "-resource", "bus", "-agents", "1", "-requests", "1"}, "", 1, "acquire"},
@@ -247,6 +256,51 @@ func TestArbdLifecycle(t *testing.T) {
 	}
 }
 
+// TestArbsimTopologyScenario pins the hierarchical scenario path end
+// to end: arbsim loads a topology scenario file, runs it, and reports
+// the composite protocol name.
+func TestArbsimTopologyScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	bins := buildCmds(t)
+	path := filepath.Join(t.TempDir(), "hier.json")
+	doc := `{
+	  "name": "hier-cli",
+	  "protocol": "FCFS2",
+	  "batches": 2, "batch_size": 100,
+	  "topology": {
+	    "local_protocol": "RR1",
+	    "clusters": [
+	      {"agents": [{"count": 4, "load": 0.2}]},
+	      {"agents": [{"count": 4, "load": 0.2}]}
+	    ]
+	  }
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := runStdout(t, bins["arbsim"], "", "-scenario", path)
+	if code != 0 {
+		t.Fatalf("arbsim -scenario exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FCFS2(2xRR1:4)") {
+		t.Errorf("report missing the composite protocol name:\n%s", out)
+	}
+
+	// A malformed topology (one cluster) is a clean exit 1 naming the
+	// problem.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"protocol":"FCFS2","topology":{"local_protocol":"RR1",
+	  "clusters":[{"agents":[{"count":4,"load":0.2}]}]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stderr := run(t, bins["arbsim"], "", "-scenario", bad)
+	if code != 1 || !strings.Contains(stderr, "at least 2 clusters") {
+		t.Errorf("bad topology: exit %d stderr %q, want 1 naming the cluster count", code, stderr)
+	}
+}
+
 func TestCLISuccessPathsExitZero(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real simulations")
@@ -263,11 +317,14 @@ func TestCLISuccessPathsExitZero(t *testing.T) {
 		{"arbsim compare parallel", "arbsim", []string{"-compare", "RR1,FCFS1", "-n", "4", "-batches", "2", "-batchsize", "100", "-parallel", "2"}, ""},
 		{"arbtrace defaults", "arbtrace", []string{"-ticks", "10"}, ""},
 		{"arbtrace RR2 line-level", "arbtrace", []string{"-protocol", "RR2", "-ticks", "10"}, ""},
+		{"arbtrace topology hops", "arbtrace", []string{"-topo", "4x2:RR1/FCFS2", "-ticks", "20"}, ""},
 		{"arbverify RR1 small", "arbverify", []string{"-protocol", "RR1", "-n", "3"}, ""},
 		{"arbverify cross RR2", "arbverify", []string{"-cross", "-protocol", "RR2", "-n", "4", "-trials", "3", "-ticks", "100"}, ""},
 		{"paper tiny table", "paper", []string{"-table", "4.5", "-sizes", "5", "-batches", "2", "-batchsize", "100"}, ""},
 		{"benchjson parses bench output", "benchjson", []string{"-date", "2026-08-06"},
 			"BenchmarkX 	 10 	 100 ns/op 	 8 B/op 	 1 allocs/op\n"},
+		{"benchjson self-compare is clean", "benchjson", []string{"-compare", "-ns-threshold=-1",
+			"testdata/bench-old.json", "testdata/bench-old.json"}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestJSONLHopFields pins the topology extension of the trace schema:
+// level and wait serialize between agent(s) and urgent, round-trip
+// through ReadJSONL, and are omitted entirely from flat-bus events so
+// pre-topology traces stay byte-identical.
+func TestJSONLHopFields(t *testing.T) {
+	var buf bytes.Buffer
+	w := &JSONLWriter{W: &buf}
+	events := []Event{
+		{Time: 1, Kind: ArbitrationResolve, Agent: 7},                         // flat
+		{Time: 2.5, Kind: ArbitrationResolve, Agent: 9, Level: 1, Wait: 0.75}, // leaf hop
+		{Time: 2.5, Kind: ArbitrationResolve, Agent: 9, Level: 0, Wait: 0.25}, // root hop
+	}
+	for _, e := range events {
+		w.OnEvent(e)
+	}
+	if w.Err != nil {
+		t.Fatal(w.Err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{
+		`{"t":1,"ev":"arb-resolve","agent":7}`,
+		`{"t":2.5,"ev":"arb-resolve","agent":9,"level":1,"wait":0.75}`,
+		`{"t":2.5,"ev":"arb-resolve","agent":9,"wait":0.25}`,
+	}
+	for i, l := range lines {
+		if l != want[i] {
+			t.Errorf("line %d = %s, want %s", i, l, want[i])
+		}
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("read %d events, want %d", len(back), len(events))
+	}
+	for i, e := range back {
+		want := events[i]
+		if e.Time != want.Time || e.Kind != want.Kind || e.Agent != want.Agent ||
+			e.Level != want.Level || e.Wait != want.Wait {
+			t.Errorf("round trip event %d = %+v, want %+v", i, e, want)
+		}
+	}
+}
+
+// TestMetricsHopWindows pins the per-level aggregation: level-0
+// resolves alone count as arbitrations, hop waits are summarized per
+// level, and flat-bus events (no wait) produce no hop windows.
+func TestMetricsHopWindows(t *testing.T) {
+	m := NewMetrics(10)
+	// Two tree grants in window 0: each emits a root and a leaf hop.
+	m.OnEvent(Event{Time: 1, Kind: ArbitrationResolve, Agent: 3, Level: 0, Wait: 0.5})
+	m.OnEvent(Event{Time: 1, Kind: ArbitrationResolve, Agent: 3, Level: 1, Wait: 1.0})
+	m.OnEvent(Event{Time: 4, Kind: ArbitrationResolve, Agent: 5, Level: 0, Wait: 0.7})
+	m.OnEvent(Event{Time: 4, Kind: ArbitrationResolve, Agent: 5, Level: 1, Wait: 3.0})
+	m.Flush(10)
+	wins := m.Windows()
+	if len(wins) != 1 {
+		t.Fatalf("got %d windows, want 1", len(wins))
+	}
+	w := wins[0]
+	if w.Arbitrations != 2 {
+		t.Errorf("Arbitrations = %d, want 2 (level-0 resolves only)", w.Arbitrations)
+	}
+	if len(w.Hops) != 2 {
+		t.Fatalf("got %d hop levels, want 2: %+v", len(w.Hops), w.Hops)
+	}
+	root, leaf := w.Hops[0], w.Hops[1]
+	if root.Level != 0 || root.Resolves != 2 || root.WaitMean != 0.6 || root.WaitMax != 0.7 {
+		t.Errorf("root hops = %+v", root)
+	}
+	if leaf.Level != 1 || leaf.Resolves != 2 || leaf.WaitMean != 2.0 || leaf.WaitMax != 3.0 {
+		t.Errorf("leaf hops = %+v", leaf)
+	}
+	if leaf.WaitP50 > leaf.WaitP90 || leaf.WaitP90 > leaf.WaitMax {
+		t.Errorf("leaf quantiles out of order: %+v", leaf)
+	}
+
+	// A flat run in the next collector: no hops at all.
+	m2 := NewMetrics(10)
+	m2.OnEvent(Event{Time: 1, Kind: ArbitrationResolve, Agent: 3})
+	m2.Flush(10)
+	if got := m2.Windows()[0]; got.Hops != nil || got.Arbitrations != 1 {
+		t.Errorf("flat window = %+v, want 1 arbitration and nil Hops", got)
+	}
+
+	// The table renderer includes the hop lines.
+	var buf bytes.Buffer
+	if err := m.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hop level 0: 2 resolves") ||
+		!strings.Contains(buf.String(), "hop level 1: 2 resolves") {
+		t.Errorf("WriteTable missing hop lines:\n%s", buf.String())
+	}
+}

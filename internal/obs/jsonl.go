@@ -13,12 +13,15 @@ import (
 //	{"t":<time>,"ev":"<kind>"}                      always present
 //	"agent":<id>                                    acting agent (omitted when 0)
 //	"agents":[<id>,...]                             arb-start competitor snapshot
+//	"level":<l>                                     arbitration level (topology runs)
+//	"wait":<w>                                      per-hop wait (topology runs)
 //	"urgent":true                                   priority-class request
 //	"aux":<n>                                       block / bank detail
 //	"label":"<text>"                                e.g. snoop transaction kind
 //
-// Field order is fixed (t, ev, agent, agents, urgent, aux, label) and
-// zero-valued optional fields are omitted.
+// Field order is fixed (t, ev, agent, agents, level, wait, urgent,
+// aux, label) and zero-valued optional fields are omitted — so traces
+// of flat-bus runs are byte-identical to the pre-topology schema.
 type JSONLWriter struct {
 	W io.Writer
 	// Err holds the first write or encode error; subsequent events are
@@ -33,6 +36,8 @@ type jsonEvent struct {
 	Ev     string  `json:"ev"`
 	Agent  int     `json:"agent,omitempty"`
 	Agents []int   `json:"agents,omitempty"`
+	Level  int     `json:"level,omitempty"`
+	Wait   float64 `json:"wait,omitempty"`
 	Urgent bool    `json:"urgent,omitempty"`
 	Aux    int64   `json:"aux,omitempty"`
 	Label  string  `json:"label,omitempty"`
@@ -44,8 +49,8 @@ func (w *JSONLWriter) OnEvent(e Event) {
 		return
 	}
 	line, err := json.Marshal(jsonEvent{
-		T: e.Time, Ev: e.Kind.String(), Agent: e.Agent,
-		Agents: e.Agents, Urgent: e.Urgent, Aux: e.Aux, Label: e.Label,
+		T: e.Time, Ev: e.Kind.String(), Agent: e.Agent, Agents: e.Agents,
+		Level: e.Level, Wait: e.Wait, Urgent: e.Urgent, Aux: e.Aux, Label: e.Label,
 	})
 	if err != nil {
 		w.Err = err
@@ -75,6 +80,7 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		}
 		out = append(out, Event{
 			Time: je.T, Kind: k, Agent: je.Agent, Agents: je.Agents,
+			Level: je.Level, Wait: je.Wait,
 			Urgent: je.Urgent, Aux: je.Aux, Label: je.Label,
 		})
 	}

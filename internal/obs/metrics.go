@@ -25,15 +25,35 @@ type AgentWindow struct {
 	WaitMax  float64
 }
 
+// HopWindow summarizes one arbitration level's per-hop waits within
+// one metrics window (topology runs; flat-bus runs produce none).
+type HopWindow struct {
+	// Level is the arbitration level, 0 at the root bus.
+	Level int
+	// Resolves counts level resolutions in the window.
+	Resolves int64
+	// WaitMean, WaitP50, WaitP90, WaitMax summarize the hop waits —
+	// resolve time minus the level's winning-line assert time.
+	WaitMean float64
+	WaitP50  float64
+	WaitP90  float64
+	WaitMax  float64
+}
+
 // Window is one time slice of the windowed metrics.
 type Window struct {
 	// Start and End bound the window: [Start, End).
 	Start, End float64
 	// Arbitrations and Repasses count resolutions and empty passes.
+	// On topology runs only root (level-0) resolutions count: the
+	// deeper resolve events are the same settle seen at inner buses.
 	Arbitrations int64
 	Repasses     int64
 	// Agents holds per-agent activity, indexed by identity-1.
 	Agents []AgentWindow
+	// Hops holds per-level hop-wait summaries, ascending by level
+	// (nil on flat-bus runs, whose events carry no hop waits).
+	Hops []HopWindow
 }
 
 // Utilization returns agent id's bus utilization over the window.
@@ -61,10 +81,11 @@ type Metrics struct {
 	closed []Window
 
 	// Current-window accumulation.
-	curIdx   int64 // index of the window being accumulated
-	started  bool
-	cur      Window
-	curWaits [][]float64 // per-agent residence samples this window
+	curIdx      int64 // index of the window being accumulated
+	started     bool
+	cur         Window
+	curWaits    [][]float64 // per-agent residence samples this window
+	curHopWaits [][]float64 // per-level hop-wait samples this window
 
 	// Cross-window request/service state.
 	issueQ     [][]float64 // per-agent FIFO of request-issue times
@@ -132,10 +153,34 @@ func (m *Metrics) closeCurrent(end float64) {
 		}
 		m.curWaits[i] = waits[:0]
 	}
-	// Deep-copy the agent slice: cur.Agents is reused for the next
+	m.cur.Hops = m.cur.Hops[:0]
+	for lvl, waits := range m.curHopWaits {
+		if len(waits) == 0 {
+			continue
+		}
+		sort.Float64s(waits)
+		sum := 0.0
+		for _, w := range waits {
+			sum += w
+		}
+		m.cur.Hops = append(m.cur.Hops, HopWindow{
+			Level:    lvl,
+			Resolves: int64(len(waits)),
+			WaitMean: sum / float64(len(waits)),
+			WaitP50:  quantile(waits, 0.50),
+			WaitP90:  quantile(waits, 0.90),
+			WaitMax:  waits[len(waits)-1],
+		})
+		m.curHopWaits[lvl] = waits[:0]
+	}
+	// Deep-copy the agent and hop slices: cur is reused for the next
 	// window.
 	out := m.cur
 	out.Agents = append([]AgentWindow(nil), m.cur.Agents...)
+	out.Hops = nil
+	if len(m.cur.Hops) > 0 {
+		out.Hops = append([]HopWindow(nil), m.cur.Hops...)
+	}
 	m.closed = append(m.closed, out)
 	m.cur.Arbitrations = 0
 	m.cur.Repasses = 0
@@ -170,7 +215,15 @@ func (m *Metrics) OnEvent(e Event) {
 		m.issueQ[e.Agent-1] = append(m.issueQ[e.Agent-1], e.Time)
 		m.cur.Agents[e.Agent-1].Requests++
 	case ArbitrationResolve:
-		m.cur.Arbitrations++
+		if e.Level == 0 {
+			m.cur.Arbitrations++
+		}
+		if e.Wait > 0 {
+			for len(m.curHopWaits) <= e.Level {
+				m.curHopWaits = append(m.curHopWaits, nil)
+			}
+			m.curHopWaits[e.Level] = append(m.curHopWaits[e.Level], e.Wait)
+		}
 	case Repass:
 		m.cur.Repasses++
 	case ServiceStart:
@@ -223,6 +276,12 @@ func (m *Metrics) WriteTable(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "window [%.4g,%.4g): %d requests, %d arbitrations, %d repasses\n",
 			win.Start, win.End, reqs, win.Arbitrations, win.Repasses); err != nil {
 			return err
+		}
+		for _, h := range win.Hops {
+			if _, err := fmt.Fprintf(w, "  hop level %d: %d resolves, wait mean=%.2f p50=%.2f p90=%.2f max=%.2f\n",
+				h.Level, h.Resolves, h.WaitMean, h.WaitP50, h.WaitP90, h.WaitMax); err != nil {
+				return err
+			}
 		}
 		if _, err := fmt.Fprintf(w, "  %5s %8s %8s %8s %8s %8s %8s %8s\n",
 			"agent", "reqs", "grants", "util", "Wmean", "Wp50", "Wp90", "Wmax"); err != nil {

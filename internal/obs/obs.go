@@ -102,6 +102,18 @@ type Event struct {
 	Agent  int   // the acting agent, 0 when not applicable
 	Agents []int // arbitration snapshot (ArbitrationStart only)
 	Urgent bool  // request class (RequestIssued only)
+	// Level is the arbitration level of an ArbitrationResolve on a
+	// topology run: 0 at the root bus, increasing toward the leaf
+	// clusters. Flat-bus events carry 0. A tree grant emits one
+	// resolve event per level of the winner's path, all with the
+	// winning agent; only the level-0 event counts as an arbitration
+	// (the deeper ones are the same settle seen at inner buses).
+	Level int
+	// Wait is the per-hop wait of an ArbitrationResolve on a topology
+	// run: resolve time minus the assert time of the level's winning
+	// request line (the agent's request at the leaf, the cluster line
+	// one level up). Zero on flat-bus events.
+	Wait float64
 	// Aux carries kind-specific detail: the block number for CacheMiss
 	// and Invalidation, the bank index for BankConflict.
 	Aux int64
@@ -115,6 +127,12 @@ func (e Event) String() string {
 	switch e.Kind {
 	case ArbitrationStart:
 		return fmt.Sprintf("%10.2f  %-13s competitors=%v", e.Time, e.Kind, e.Agents)
+	case ArbitrationResolve:
+		if e.Wait > 0 || e.Level > 0 {
+			return fmt.Sprintf("%10.2f  %-13s agent=%d level=%d wait=%.2f",
+				e.Time, e.Kind, e.Agent, e.Level, e.Wait)
+		}
+		return fmt.Sprintf("%10.2f  %-13s agent=%d", e.Time, e.Kind, e.Agent)
 	case RequestIssued:
 		u := ""
 		if e.Urgent {

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func suite(bs ...BenchResult) *BenchSuite { return &BenchSuite{Benchmarks: bs} }
+
+func TestCompareBench(t *testing.T) {
+	old := suite(
+		BenchResult{Name: "BenchmarkKernel", Pkg: "busarb/internal/bitarb", NsPerOp: 100, AllocsPerOp: 0},
+		BenchResult{Name: "BenchmarkRun", Pkg: "busarb/internal/bussim", NsPerOp: 1000, AllocsPerOp: 12},
+		BenchResult{Name: "BenchmarkGone", Pkg: "busarb/internal/core", NsPerOp: 50},
+	)
+
+	t.Run("clean", func(t *testing.T) {
+		new := suite(
+			BenchResult{Name: "BenchmarkKernel", Pkg: "busarb/internal/bitarb", NsPerOp: 110, AllocsPerOp: 0},
+			BenchResult{Name: "BenchmarkRun", Pkg: "busarb/internal/bussim", NsPerOp: 900, AllocsPerOp: 12},
+			BenchResult{Name: "BenchmarkGone", Pkg: "busarb/internal/core", NsPerOp: 55},
+			BenchResult{Name: "BenchmarkNew", Pkg: "busarb/internal/topo", NsPerOp: 1, AllocsPerOp: 99},
+		)
+		regs, missing := CompareBench(old, new, 0.25)
+		if len(regs) != 0 || len(missing) != 0 {
+			t.Errorf("regs=%v missing=%v, want none (10%% slower is under threshold, new benchmarks ignored)", regs, missing)
+		}
+	})
+
+	t.Run("macro alloc drift within slack passes", func(t *testing.T) {
+		o := suite(BenchResult{Name: "BenchmarkTable", Pkg: "p", NsPerOp: 1, AllocsPerOp: 1650})
+		n := suite(BenchResult{Name: "BenchmarkTable", Pkg: "p", NsPerOp: 1, AllocsPerOp: 1652})
+		if regs, _ := CompareBench(o, n, -1); len(regs) != 0 {
+			t.Errorf("+2 on 1650 allocs flagged despite slack: %v", regs)
+		}
+		n.Benchmarks[0].AllocsPerOp = 1700
+		if regs, _ := CompareBench(o, n, -1); len(regs) != 1 {
+			t.Errorf("+50 on 1650 allocs not flagged: %v", regs)
+		}
+	})
+
+	t.Run("alloc regression always fails", func(t *testing.T) {
+		new := suite(
+			BenchResult{Name: "BenchmarkKernel", Pkg: "busarb/internal/bitarb", NsPerOp: 90, AllocsPerOp: 1},
+			BenchResult{Name: "BenchmarkRun", Pkg: "busarb/internal/bussim", NsPerOp: 1000, AllocsPerOp: 12},
+			BenchResult{Name: "BenchmarkGone", Pkg: "busarb/internal/core", NsPerOp: 50},
+		)
+		// Even with the ns check disabled.
+		regs, _ := CompareBench(old, new, -1)
+		if len(regs) != 1 || regs[0].Metric != "allocs/op" || regs[0].New != 1 {
+			t.Fatalf("regs = %v, want the one alloc regression", regs)
+		}
+		if !strings.Contains(regs[0].String(), "BenchmarkKernel") {
+			t.Errorf("regression does not name the benchmark: %v", regs[0])
+		}
+	})
+
+	t.Run("ns threshold", func(t *testing.T) {
+		new := suite(
+			BenchResult{Name: "BenchmarkKernel", Pkg: "busarb/internal/bitarb", NsPerOp: 140, AllocsPerOp: 0},
+			BenchResult{Name: "BenchmarkRun", Pkg: "busarb/internal/bussim", NsPerOp: 1200, AllocsPerOp: 12},
+			BenchResult{Name: "BenchmarkGone", Pkg: "busarb/internal/core", NsPerOp: 50},
+		)
+		regs, _ := CompareBench(old, new, 0.25)
+		if len(regs) != 1 || regs[0].Metric != "ns/op" || !strings.Contains(regs[0].Name, "BenchmarkKernel") {
+			t.Fatalf("regs = %v, want only the 40%% ns regression", regs)
+		}
+		if regs, _ := CompareBench(old, new, -1); len(regs) != 0 {
+			t.Errorf("negative threshold still flagged ns: %v", regs)
+		}
+		if regs, _ := CompareBench(old, new, 0); len(regs) != 2 {
+			t.Errorf("zero threshold should flag any ns increase, got %v", regs)
+		}
+	})
+
+	t.Run("missing reported not failed", func(t *testing.T) {
+		new := suite(
+			BenchResult{Name: "BenchmarkKernel", Pkg: "busarb/internal/bitarb", NsPerOp: 100, AllocsPerOp: 0},
+			BenchResult{Name: "BenchmarkRun", Pkg: "busarb/internal/bussim", NsPerOp: 1000, AllocsPerOp: 12},
+		)
+		regs, missing := CompareBench(old, new, 0.25)
+		if len(regs) != 0 {
+			t.Errorf("regs = %v, want none", regs)
+		}
+		if len(missing) != 1 || missing[0] != "busarb/internal/core.BenchmarkGone" {
+			t.Errorf("missing = %v", missing)
+		}
+	})
+}
+
+func TestReadBenchJSONRoundTrip(t *testing.T) {
+	s := suite(BenchResult{Name: "BenchmarkX", Pkg: "p", Iterations: 10,
+		NsPerOp: 1.5, AllocsPerOp: 2, Metrics: map[string]float64{"ratio": 3}})
+	s.Date = "2026-08-08"
+	var buf strings.Builder
+	if err := WriteBenchJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Date != s.Date || len(back.Benchmarks) != 1 ||
+		back.Benchmarks[0].NsPerOp != 1.5 || back.Benchmarks[0].Metrics["ratio"] != 3 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if _, err := ReadBenchJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage input accepted")
+	}
+}

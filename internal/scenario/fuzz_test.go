@@ -13,6 +13,13 @@ func FuzzLoad(f *testing.F) {
 	f.Add([]byte(`{"protocol":"RR1","agents":[{"count":2,"load":0.5}]}`))
 	f.Add([]byte(`{"protocol":"FCFS1","seed":9,"agents":[{"count":3,"load":0.01,"cv":0},{"count":1,"load":0.9}]}`))
 	f.Add([]byte(`{"protocol":"AAP2","service":2,"arb_overhead":0.5,"agents":[{"count":2,"load":0.3,"urgent_prob":1}]}`))
+	f.Add([]byte(hierValid))
+	f.Add([]byte(`{"protocol":"FCFS2","topology":{"local_protocol":"RR1","clusters":[` +
+		`{"agents":[{"count":8,"load":0.05}]},{"agents":[{"count":8,"load":0.05}]}]}}`))
+	f.Add([]byte(`{"protocol":"FP","topology":{"clusters":[` +
+		`{"protocol":"RR3","agents":[{"count":2,"load":0.1}]},` +
+		`{"protocol":"FCFS1","agents":[{"count":3,"load":0.1,"urgent_prob":0.2}]}]}}`))
+	f.Add([]byte(`{"protocol":"RR1","topology":{"clusters":[{"agents":[{"count":1,"load":0.5}]}]}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sf, err := Load(bytes.NewReader(data))
 		if err != nil {
@@ -20,6 +27,9 @@ func FuzzLoad(f *testing.F) {
 		}
 		// Accepted scenarios must yield consistent, buildable configs.
 		cfg := sf.Config()
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted scenario built invalid config: %v", err)
+		}
 		if cfg.N < 2 || len(cfg.Inter) != cfg.N {
 			t.Fatalf("accepted scenario built bad config: N=%d inter=%d", cfg.N, len(cfg.Inter))
 		}

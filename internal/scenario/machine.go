@@ -9,6 +9,18 @@ import (
 	"busarb/internal/mp"
 )
 
+// LoadMachine parses and validates a machine scenario from r.
+func LoadMachine(r io.Reader) (*MachineFile, error) {
+	var f MachineFile
+	if err := decodeStrict(r, &f); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
 // MachineFile is the on-disk format for a full multiprocessor scenario
 // (processors + caches + reference patterns), the internal/mp
 // counterpart of the plain agent scenario.
@@ -78,20 +90,6 @@ func (s PatternSpec) build() (mp.Pattern, error) {
 			HotProb: s.HotProb, WriteFrac: s.WriteFrac}, nil
 	}
 	return nil, fmt.Errorf("scenario: unknown pattern kind %q", s.Kind)
-}
-
-// LoadMachine parses and validates a machine scenario from r.
-func LoadMachine(r io.Reader) (*MachineFile, error) {
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	var f MachineFile
-	if err := dec.Decode(&f); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
-	}
-	if err := f.Validate(); err != nil {
-		return nil, err
-	}
-	return &f, nil
 }
 
 // Validate checks the machine scenario's invariants.

@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"busarb/internal/bussim"
+)
+
+const hierValid = `{
+  "name": "hier",
+  "protocol": "FCFS2",
+  "seed": 3,
+  "batches": 2,
+  "batch_size": 200,
+  "topology": {
+    "local_protocol": "RR1",
+    "clusters": [
+      {"agents": [{"count": 4, "load": 0.05}]},
+      {"protocol": "RR3", "agents": [{"count": 2, "load": 0.10, "cv": 0.5},
+                                     {"count": 2, "load": 0.02, "urgent_prob": 0.5}]}
+    ]
+  }
+}`
+
+func TestLoadTopology(t *testing.T) {
+	f, err := Load(strings.NewReader(hierValid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 8 {
+		t.Errorf("N = %d, want 8", f.N())
+	}
+	if want := 4*0.05 + 2*0.10 + 2*0.02; math.Abs(f.TotalLoad()-want) > 1e-12 {
+		t.Errorf("TotalLoad = %v, want %v", f.TotalLoad(), want)
+	}
+	spec := f.Spec()
+	if spec == nil {
+		t.Fatal("Spec() = nil for topology scenario")
+	}
+	if got := spec.Name(); got != "FCFS2(RR1:4,RR3:4)" {
+		t.Errorf("Spec().Name() = %q", got)
+	}
+	cfg := f.Config()
+	if cfg.Protocol != nil || cfg.Topology == nil {
+		t.Fatalf("Config: topology scenario must set Topology, not Protocol")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Config does not validate: %v", err)
+	}
+	// Identities run cluster by cluster in file order: agents 1..4 at
+	// load 0.05 (mean 19), 5..6 at 0.10 (mean 9, cv 0.5), 7..8 at 0.02.
+	if math.Abs(cfg.Inter[0].Mean()-19) > 1e-9 {
+		t.Errorf("agent 1 mean = %v, want 19", cfg.Inter[0].Mean())
+	}
+	if cfg.Inter[4].CV() != 0.5 {
+		t.Errorf("agent 5 cv = %v, want 0.5", cfg.Inter[4].CV())
+	}
+	if len(cfg.UrgentProb) != 8 || cfg.UrgentProb[6] != 0.5 || cfg.UrgentProb[0] != 0 {
+		t.Errorf("urgent probs = %v", cfg.UrgentProb)
+	}
+}
+
+func TestTopologyScenarioRuns(t *testing.T) {
+	f, err := Load(strings.NewReader(hierValid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bussim.Run(f.Config())
+	if res.Completions != 400 {
+		t.Errorf("completions = %d, want 400", res.Completions)
+	}
+	if res.ProtocolName != "FCFS2(RR1:4,RR3:4)" {
+		t.Errorf("protocol = %s", res.ProtocolName)
+	}
+}
+
+func TestTopologyValidateErrors(t *testing.T) {
+	cases := map[string]struct{ in, want string }{
+		"both forms": {
+			`{"protocol":"RR1","agents":[{"count":2,"load":0.1}],
+			  "topology":{"local_protocol":"RR1","clusters":[
+			    {"agents":[{"count":2,"load":0.1}]},
+			    {"agents":[{"count":2,"load":0.1}]}]}}`,
+			"not both"},
+		"one cluster": {
+			`{"protocol":"RR1","topology":{"local_protocol":"RR1","clusters":[
+			   {"agents":[{"count":4,"load":0.1}]}]}}`,
+			"at least 2 clusters"},
+		"no cluster protocol": {
+			`{"protocol":"RR1","topology":{"clusters":[
+			   {"agents":[{"count":2,"load":0.1}]},
+			   {"agents":[{"count":2,"load":0.1}]}]}}`,
+			"cluster 0: no protocol"},
+		"bad local protocol": {
+			`{"protocol":"RR1","topology":{"local_protocol":"XX","clusters":[
+			   {"agents":[{"count":2,"load":0.1}]},
+			   {"agents":[{"count":2,"load":0.1}]}]}}`,
+			"local_protocol"},
+		"bad cluster protocol": {
+			`{"protocol":"RR1","topology":{"local_protocol":"RR1","clusters":[
+			   {"agents":[{"count":2,"load":0.1}]},
+			   {"protocol":"XX","agents":[{"count":2,"load":0.1}]}]}}`,
+			"cluster 1"},
+		"empty cluster": {
+			`{"protocol":"RR1","topology":{"local_protocol":"RR1","clusters":[
+			   {"agents":[{"count":2,"load":0.1}]},
+			   {"agents":[]}]}}`,
+			"cluster 1: at least one agent group"},
+		"bad cluster load": {
+			`{"protocol":"RR1","topology":{"local_protocol":"RR1","clusters":[
+			   {"agents":[{"count":2,"load":0.1}]},
+			   {"agents":[{"count":2,"load":7}]}]}}`,
+			"cluster 1: group 0"},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(c.in))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Load = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestLoadErrorLocations pins the loader's error reporting: parse
+// failures must name the offending field path and line:column instead
+// of surfacing a bare json error.
+func TestLoadErrorLocations(t *testing.T) {
+	cases := map[string]struct {
+		in      string
+		machine bool
+		want    []string
+	}{
+		"type error names nested field": {
+			in: "{\n  \"protocol\": \"RR1\",\n  \"agents\": [{\"count\": 2, \"load\": \"heavy\"}]\n}",
+			want: []string{
+				"field agents.load", "line 3", "cannot unmarshal string",
+			},
+		},
+		"syntax error located": {
+			in:   "{\n  \"protocol\": \"RR1\",\n  \"agents\": [{\"count\": 2,, \"load\": 0.1}]\n}",
+			want: []string{"line 3:"},
+		},
+		"unknown field located": {
+			in:   "{\n  \"protocol\": \"RR1\",\n  \"agnets\": [{\"count\": 2, \"load\": 0.1}]\n}",
+			want: []string{"line 3:", "agnets"},
+		},
+		"topology type error names path": {
+			in: "{\n  \"protocol\": \"RR1\",\n  \"topology\": {\"clusters\": [{\"agents\": [{\"count\": \"two\", \"load\": 0.1}]}]}\n}",
+			want: []string{
+				"field topology.clusters.agents.count", "line 3",
+			},
+		},
+		"machine loader shares the reporting": {
+			in:      "{\n  \"protocol\": \"RR1\",\n  \"processors\": [{\"count\": \"four\"}]\n}",
+			machine: true,
+			want:    []string{"field processors.count", "line 3"},
+		},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			var err error
+			if c.machine {
+				_, err = LoadMachine(strings.NewReader(c.in))
+			} else {
+				_, err = Load(strings.NewReader(c.in))
+			}
+			if err == nil {
+				t.Fatal("Load accepted malformed input")
+			}
+			for _, w := range c.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q does not mention %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+func TestLineCol(t *testing.T) {
+	raw := []byte("ab\ncde\nf")
+	cases := []struct {
+		off       int64
+		line, col int
+	}{
+		{0, 1, 1}, {2, 1, 3}, {3, 2, 1}, {5, 2, 3}, {7, 3, 1},
+		{-4, 1, 1}, {99, 3, 2}, // clamped
+	}
+	for _, c := range cases {
+		if l, col := lineCol(raw, c.off); l != c.line || col != c.col {
+			t.Errorf("lineCol(%d) = %d:%d, want %d:%d", c.off, l, col, c.line, c.col)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package topo
+
+import (
+	"fmt"
+
+	"busarb/internal/grant"
+)
+
+// grantNode is one tree node on the serving face.
+type grantNode struct {
+	sched    grant.Scheduler
+	parent   int // node index, -1 at the root
+	childIdx int // 1-based identity on the parent's bus
+	first    int // global agent range [first, last], DFS-contiguous
+	last     int
+	children []int // node indices, empty at leaves
+	// pending counts waiting agents in the subtree; the node's request
+	// line to its parent is asserted iff pending > 0.
+	pending int
+}
+
+// GrantTree is an arbitration tree on the serving face: it implements
+// grant.Scheduler over the global agent identities, so an arbd shard
+// drives a tree exactly as it drives a flat scheduler. Like the flat
+// schedulers it is single-goroutine and allocation-free in steady
+// state (pinned by AllocsPerRun).
+type GrantTree struct {
+	name   string
+	n      int
+	depth  int
+	nodes  []grantNode
+	leafOf []int // global agent -> leaf node index (index 0 unused)
+	// repassers are the nodes whose schedulers count RR3 empty passes.
+	repassers []grant.Repasser
+}
+
+// NewGrantTree builds the serving face of spec. Every node's protocol
+// must be registered in grant (the schedulers' registry).
+func NewGrantTree(spec *Spec) (*GrantTree, error) {
+	if err := spec.Validate(func(name string) error {
+		_, err := grant.ByName(name)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	t := &GrantTree{
+		name:   spec.Name(),
+		n:      spec.TotalAgents(),
+		depth:  spec.Depth(),
+		leafOf: make([]int, spec.TotalAgents()+1),
+	}
+	if _, err := t.build(spec, -1, 0, 1); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *GrantTree) build(s *Spec, parent, childIdx, first int) (int, error) {
+	ni := len(t.nodes)
+	t.nodes = append(t.nodes, grantNode{
+		parent:   parent,
+		childIdx: childIdx,
+		first:    first,
+	})
+	lines := s.Agents
+	if !s.Leaf() {
+		lines = len(s.Children)
+	}
+	factory, err := grant.ByName(s.Protocol)
+	if err != nil {
+		return 0, err
+	}
+	sched := factory(lines)
+	t.nodes[ni].sched = sched
+	if r, ok := sched.(grant.Repasser); ok {
+		t.repassers = append(t.repassers, r)
+	}
+	if s.Leaf() {
+		t.nodes[ni].last = first + s.Agents - 1
+		for g := first; g <= t.nodes[ni].last; g++ {
+			t.leafOf[g] = ni
+		}
+		return ni, nil
+	}
+	next := first
+	for i := range s.Children {
+		ci, err := t.build(&s.Children[i], ni, i+1, next)
+		if err != nil {
+			return 0, err
+		}
+		t.nodes[ni].children = append(t.nodes[ni].children, ci)
+		next = t.nodes[ci].last + 1
+	}
+	t.nodes[ni].last = next - 1
+	return ni, nil
+}
+
+// Name implements grant.Scheduler.
+func (t *GrantTree) Name() string { return t.name }
+
+// N implements grant.Scheduler.
+func (t *GrantTree) N() int { return t.n }
+
+// Depth returns the number of arbitration levels.
+func (t *GrantTree) Depth() int { return t.depth }
+
+// Enqueue implements grant.Scheduler: agent's line goes high on its
+// leaf bus, and every enclosing cluster whose line was idle asserts
+// its own line one level up.
+func (t *GrantTree) Enqueue(agent int) bool {
+	if agent < 1 || agent > t.n {
+		panic(fmt.Sprintf("topo: agent %d out of range 1..%d", agent, t.n))
+	}
+	ni := t.leafOf[agent]
+	if !t.nodes[ni].sched.Enqueue(agent - t.nodes[ni].first + 1) {
+		return false
+	}
+	for ni >= 0 {
+		node := &t.nodes[ni]
+		node.pending++
+		if node.pending == 1 && node.parent >= 0 {
+			t.nodes[node.parent].sched.Enqueue(node.childIdx)
+		}
+		ni = node.parent
+	}
+	return true
+}
+
+// Resolve implements grant.Scheduler: the root resolves a cluster,
+// the cluster resolves a sub-cluster, down to the winning agent. A
+// cluster whose line was consumed but which still has waiting agents
+// re-enqueues its line immediately — a fresh request at the parent's
+// bus, so FCFS schedulers rank cluster lines by (re-)arrival order,
+// the same multi-waiter identity handling the arbd shard loop applies
+// to flat schedulers.
+func (t *GrantTree) Resolve() int {
+	if t.nodes[0].pending == 0 {
+		return 0
+	}
+	cur := 0
+	for len(t.nodes[cur].children) > 0 {
+		c := t.nodes[cur].sched.Resolve()
+		if c == 0 {
+			// pending > 0 guarantees an asserted line on every bus down
+			// the winning path; a dry Resolve is a tree invariant bug.
+			panic("topo: internal node resolved idle with pending agents")
+		}
+		cur = t.nodes[cur].children[c-1]
+	}
+	w := t.nodes[cur].sched.Resolve()
+	if w == 0 {
+		panic("topo: leaf resolved idle with pending agents")
+	}
+	g := w + t.nodes[cur].first - 1
+	for ni := cur; ni >= 0; {
+		node := &t.nodes[ni]
+		node.pending--
+		if node.parent >= 0 && node.pending > 0 {
+			t.nodes[node.parent].sched.Enqueue(node.childIdx)
+		}
+		ni = node.parent
+	}
+	return g
+}
+
+// Pending implements grant.Scheduler: the number of waiting agents.
+func (t *GrantTree) Pending() int { return t.nodes[0].pending }
+
+// Repasses implements grant.Repasser, summing the RR3 empty-pass
+// counters across the tree's nodes.
+func (t *GrantTree) Repasses() int64 {
+	var total int64
+	for _, r := range t.repassers {
+		total += r.Repasses()
+	}
+	return total
+}
+
+// Reset implements grant.Scheduler.
+func (t *GrantTree) Reset() {
+	for i := range t.nodes {
+		t.nodes[i].sched.Reset()
+		t.nodes[i].pending = 0
+	}
+}
