@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json bench-gate check fuzz paper examples examples-smoke trace-demo clean
+.PHONY: all build vet lint lint-stats test race bench bench-json bench-gate check fuzz paper examples examples-smoke trace-demo clean
 
 all: build vet test
 
@@ -14,11 +14,17 @@ vet:
 	$(GO) vet ./...
 
 # The repository's own analyzers (internal/analysis, driven by
-# cmd/arblint): determinism, nilprobe, validatecall, seedsrc. They
-# mechanically enforce the invariants every reproduced table rests on;
-# see docs/ARCHITECTURE.md ("Static analysis").
+# cmd/arblint): determinism, nilprobe, validatecall, seedsrc, allocfree,
+# syncguard, goroleak. They mechanically enforce the invariants every
+# reproduced table rests on; see docs/LINT.md for the catalogue and
+# docs/ARCHITECTURE.md ("Static analysis") for how the engine works.
 lint:
 	$(GO) run ./cmd/arblint ./...
+
+# Like lint, but also print the per-analyzer finding/suppression table
+# — a quick read on how many //arblint:allow escapes the tree carries.
+lint-stats:
+	$(GO) run ./cmd/arblint -stats ./...
 
 # The worker pool in internal/experiment always runs under the race
 # detector, even in the quick tier: it is the only concurrency in the

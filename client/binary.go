@@ -21,11 +21,11 @@ type binaryTransport struct {
 	dialTimeout time.Duration
 
 	mu      sync.Mutex
-	conn    net.Conn      // nil between teardown and redial
-	w       *codec.Writer // writes serialized under mu
-	corr    uint64
-	pending map[uint64]chan outcome
-	closed  bool
+	conn    net.Conn                // guarded by mu; nil between teardown and redial
+	w       *codec.Writer           // guarded by mu; writes serialized under it
+	corr    uint64                  // guarded by mu
+	pending map[uint64]chan outcome // guarded by mu
+	closed  bool                    // guarded by mu
 }
 
 // outcome resolves one correlated call.
@@ -63,6 +63,10 @@ func (t *binaryTransport) ensureConnLocked() error {
 	}
 	t.conn = conn
 	t.w = codec.NewWriter(conn)
+	// The read loop's shutdown signal is the connection itself: close()
+	// closes conn, the blocked Next fails, and readLoop tears down and
+	// returns. No WaitGroup or done channel exists to tie it to.
+	//arblint:allow goroleak
 	go t.readLoop(conn)
 	return nil
 }

@@ -1,26 +1,37 @@
 // Command arblint is the repository's static-analysis gate: a
 // multichecker that runs the internal/analysis suite — determinism,
-// nilprobe, validatecall, seedsrc — over the module and exits nonzero
-// on any finding. `make lint` (and therefore `make check` and CI) runs
-// it as `go run ./cmd/arblint ./...`.
+// nilprobe, validatecall, seedsrc, allocfree, syncguard, goroleak —
+// over the module and exits nonzero on any finding. `make lint` (and
+// therefore `make check` and CI) runs it as `go run ./cmd/arblint
+// ./...`.
 //
 // Usage:
 //
-//	arblint [-list] [packages]
+//	arblint [-list] [-json] [-stats] [packages]
 //
 // With no arguments (or `./...`) every package of the enclosing module
 // is checked. Other arguments select packages by directory
 // (./internal/bussim) or by import-path suffix (internal/bussim).
-// Diagnostics print as file:line:col: message (analyzer). A finding can
-// be suppressed — one diagnostic per comment — with
+// Diagnostics print as file:line:col: message (analyzer), globally
+// sorted by position so output is byte-identical across runs. -json
+// prints them instead as one JSON object per line (file, line, col,
+// analyzer, kind, message), where kind distinguishes real findings
+// from annotation hygiene ("finding", "unused-allow", "unused-alloc",
+// "inapplicable-allow"). -stats appends a per-analyzer table of
+// finding and suppression counts to stderr.
+//
+// A finding can be suppressed — one diagnostic per comment — with
 //
 //	//arblint:allow <analyzer>
 //
 // on the offending line or the line above; unused allow comments are
-// themselves diagnostics. See docs/ARCHITECTURE.md ("Static analysis").
+// themselves diagnostics, and so are allow/alloc comments naming an
+// analyzer that is unknown or never runs in the annotated package.
+// See docs/LINT.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +43,8 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "print diagnostics as one JSON object per line")
+	stats := flag.Bool("stats", false, "print per-analyzer finding/suppression counts to stderr")
 	flag.Parse()
 
 	if *list {
@@ -62,27 +75,85 @@ func main() {
 		pkgs = selected
 	}
 
-	found := 0
+	type counts struct{ findings, suppressed int }
+	perAnalyzer := make(map[string]*counts, len(analysis.Analyzers))
+	for _, a := range analysis.Analyzers {
+		perAnalyzer[a.Name] = &counts{}
+	}
+
+	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analysis.Analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			diags, err := analysis.RunAnalyzer(a, pkg)
+			ds, suppressed, err := analysis.AnalyzePackage(a, pkg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "arblint:", err)
 				os.Exit(2)
 			}
-			for _, d := range diags {
-				fmt.Println(d)
-				found++
+			diags = append(diags, ds...)
+			c := perAnalyzer[a.Name]
+			c.findings += len(ds)
+			c.suppressed += suppressed
+		}
+		for _, d := range analysis.CheckAllows(pkg) {
+			diags = append(diags, d)
+			if c := perAnalyzer[d.Analyzer]; c != nil {
+				c.findings++
 			}
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "arblint: %d finding(s)\n", found)
+
+	// One global order — file, line, column, message — regardless of
+	// which package or analyzer produced the diagnostic, so CI diffs
+	// and golden pins are byte-stable.
+	analysis.SortDiagnostics(diags)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Kind:     d.Kind,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "arblint:", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%-13s %9s %9s\n", "analyzer", "findings", "allowed")
+		for _, a := range analysis.Analyzers {
+			c := perAnalyzer[a.Name]
+			fmt.Fprintf(os.Stderr, "%-13s %9d %9d\n", a.Name, c.findings, c.suppressed)
+		}
+	}
+
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "arblint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the -json line format: a stable, flat record per
+// diagnostic for CI consumption.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Kind     string `json:"kind"`
+	Message  string `json:"message"`
 }
 
 // containsAll reports whether the argument list asks for the whole

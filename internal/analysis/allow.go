@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/token"
 	"regexp"
+	"strconv"
 )
 
 // The escape hatch: a comment of the form
@@ -23,9 +24,10 @@ type allowComment struct {
 
 // filterAllows applies the //arblint:allow escape hatch for one
 // analyzer's diagnostics over one package: suppressed diagnostics are
-// dropped and unused allow comments naming this analyzer are appended
-// as diagnostics of their own.
-func filterAllows(analyzer string, pkg *Package, diags []Diagnostic) []Diagnostic {
+// dropped (their count is returned for `arblint -stats`) and unused
+// allow comments naming this analyzer are appended as diagnostics of
+// their own.
+func filterAllows(analyzer string, pkg *Package, diags []Diagnostic) ([]Diagnostic, int) {
 	// Collect this analyzer's allow comments, keyed by the line they
 	// cover. A comment on line L covers line L (when it trails code) and
 	// line L+1 (when it stands alone above the offending line); the
@@ -53,13 +55,14 @@ func filterAllows(analyzer string, pkg *Package, diags []Diagnostic) []Diagnosti
 		}
 	}
 	if len(all) == 0 {
-		return diags
+		return diags, 0
 	}
 
 	// Match diagnostics in position order so "exactly one" is
 	// deterministic: the first diagnostic a comment can cover consumes
 	// it, later ones on the same line are still reported.
 	sortDiagnostics(diags)
+	dropped := 0
 	kept := diags[:0]
 	for _, d := range diags {
 		suppressed := false
@@ -72,6 +75,8 @@ func filterAllows(analyzer string, pkg *Package, diags []Diagnostic) []Diagnosti
 		}
 		if !suppressed {
 			kept = append(kept, d)
+		} else {
+			dropped++
 		}
 	}
 	for _, ac := range all {
@@ -80,8 +85,56 @@ func filterAllows(analyzer string, pkg *Package, diags []Diagnostic) []Diagnosti
 				Pos:      ac.pos,
 				Message:  "unused //arblint:allow " + analyzer + " comment: no " + analyzer + " diagnostic on this or the next line",
 				Analyzer: analyzer,
+				Kind:     KindUnusedAllow,
 			})
 		}
 	}
-	return kept
+	return kept, dropped
+}
+
+// CheckAllows closes the inapplicable-annotation gap filterAllows
+// cannot see: filterAllows runs per analyzer per package, so an
+// //arblint:allow naming a misspelled analyzer — or one whose
+// AppliesTo filter skips the annotated package — never reaches any
+// filter and would silently suppress nothing forever. The driver (and
+// TestTreeIsClean) runs this once per package over the whole comment
+// set: every arblint:allow must name a registered analyzer that
+// actually runs here, and every arblint:alloc must sit in allocfree's
+// hot-path scope.
+func CheckAllows(pkg *Package) []Diagnostic {
+	byName := make(map[string]*Analyzer, len(Analyzers))
+	for _, a := range Analyzers {
+		byName[a.Name] = a
+	}
+	var diags []Diagnostic
+	report := func(pos token.Position, analyzer, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Message:  msg,
+			Analyzer: analyzer,
+			Kind:     KindInapplicableAllow,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				pos := pkg.Fset.Position(c.Pos())
+				if m := allowRE.FindStringSubmatch(c.Text); m != nil {
+					a, ok := byName[m[1]]
+					switch {
+					case !ok:
+						report(pos, "arblint", "//arblint:allow names unknown analyzer "+strconv.Quote(m[1]))
+					case a.AppliesTo != nil && !a.AppliesTo(pkg.Path):
+						report(pos, a.Name, "inapplicable //arblint:allow "+a.Name+" comment: "+a.Name+" never runs in package "+pkg.Path)
+					}
+					continue
+				}
+				if allocAnnRE.MatchString(c.Text) && !allocFreeApplies(pkg.Path) {
+					report(pos, AllocFree.Name, "inapplicable //arblint:alloc comment: "+AllocFree.Name+" never runs in package "+pkg.Path)
+				}
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
 }

@@ -43,9 +43,12 @@ func g() {}
 		diagAt(pkg, 4, "first finding"),
 		diagAt(pkg, 4, "second finding"),
 	}
-	got := filterAllows("determinism", pkg, diags)
+	got, suppressed := filterAllows("determinism", pkg, diags)
 	if len(got) != 1 || got[0].Message != "second finding" {
 		t.Fatalf("want only the second finding to survive, got %v", got)
+	}
+	if suppressed != 1 {
+		t.Fatalf("suppressed count = %d, want 1", suppressed)
 	}
 }
 
@@ -63,7 +66,10 @@ func f() {
 func g() {}
 `)
 	diags := []Diagnostic{diagAt(pkg, 5, "covered"), diagAt(pkg, 6, "not covered")}
-	got := filterAllows("determinism", pkg, diags)
+	got, suppressed := filterAllows("determinism", pkg, diags)
+	if suppressed != 1 {
+		t.Fatalf("suppressed count = %d, want 1", suppressed)
+	}
 	if len(got) != 1 || got[0].Message != "not covered" {
 		t.Fatalf("want only line 6 to survive, got %v", got)
 	}
@@ -77,7 +83,7 @@ func TestUnusedAllowReported(t *testing.T) {
 //arblint:allow determinism
 func f() {}
 `)
-	got := filterAllows("determinism", pkg, nil)
+	got, _ := filterAllows("determinism", pkg, nil)
 	if len(got) != 1 {
 		t.Fatalf("want one unused-allow finding, got %v", got)
 	}
@@ -101,8 +107,69 @@ func f() {
 func g() {}
 `)
 	diags := []Diagnostic{diagAt(pkg, 4, "survives")}
-	got := filterAllows("determinism", pkg, diags)
+	got, suppressed := filterAllows("determinism", pkg, diags)
+	if suppressed != 0 {
+		t.Fatalf("suppressed count = %d, want 0", suppressed)
+	}
 	if len(got) != 1 || got[0].Message != "survives" {
 		t.Fatalf("want the finding to survive and no unused report, got %v", got)
+	}
+}
+
+// TestCheckAllows pins the inapplicable-annotation rules: an allow must
+// name a registered analyzer that actually runs in the annotated
+// package, and an alloc annotation must sit in allocfree's scope.
+func TestCheckAllows(t *testing.T) {
+	pkg := parseForAllows(t, `package p
+
+//arblint:allow nosuchanalyzer whatever
+func f() {}
+
+//arblint:allow determinism the simulators only
+func g() {}
+
+//arblint:allow validatecall runs everywhere, applicable
+func h() {}
+
+//arblint:alloc outside the hot-path scope
+func i() {}
+`)
+	// parseForAllows gives the package path "test/allow": determinism
+	// and allocfree never run there, validatecall runs everywhere.
+	got := CheckAllows(pkg)
+	if len(got) != 3 {
+		t.Fatalf("want 3 inapplicable-annotation findings, got %v", got)
+	}
+	for _, d := range got {
+		if d.Kind != KindInapplicableAllow {
+			t.Errorf("kind %q, want %q: %s", d.Kind, KindInapplicableAllow, d)
+		}
+	}
+	if !strings.Contains(got[0].Message, `unknown analyzer "nosuchanalyzer"`) {
+		t.Errorf("unexpected first finding %q", got[0].Message)
+	}
+	if !strings.Contains(got[1].Message, "inapplicable //arblint:allow determinism") {
+		t.Errorf("unexpected second finding %q", got[1].Message)
+	}
+	if !strings.Contains(got[2].Message, "inapplicable //arblint:alloc") {
+		t.Errorf("unexpected third finding %q", got[2].Message)
+	}
+}
+
+// TestDiagnosticKinds pins the kind labels -json consumers key on.
+func TestDiagnosticKinds(t *testing.T) {
+	pkg := parseForAllows(t, `package p
+
+//arblint:allow determinism
+func f() {}
+`)
+	got, _ := filterAllows("determinism", pkg, nil)
+	if len(got) != 1 || got[0].Kind != KindUnusedAllow {
+		t.Fatalf("unused allow kind = %v, want %q", got, KindUnusedAllow)
+	}
+	p := &Pass{Analyzer: Determinism, Fset: pkg.Fset}
+	p.Reportf(pkg.Files[0].Pos(), "x")
+	if p.diags[0].Kind != KindFinding {
+		t.Fatalf("Reportf kind = %q, want %q", p.diags[0].Kind, KindFinding)
 	}
 }

@@ -8,16 +8,21 @@
 // with the x/tools loader and analysistest harness. This repository
 // deliberately has no external dependencies (go.mod lists none, and the
 // build environment is offline), so the small slice of that machinery
-// the four arblint analyzers need is reimplemented here. The API shape
-// is kept close to x/tools so the analyzers could be ported to a real
-// multichecker by swapping imports if the dependency ever lands.
+// the seven arblint analyzers need is reimplemented here, together with
+// a shared intraprocedural CFG/dataflow engine (the cfg subpackage:
+// dominators plus a must-facts worklist). The API shape is kept close
+// to x/tools so the analyzers could be ported to a real multichecker by
+// swapping imports if the dependency ever lands.
 //
 // The analyzers themselves (Determinism, NilProbe, ValidateCall,
-// SeedSrc) encode invariants that every reproduced table in
-// EXPERIMENTS.md rests on: fixed-seed runs are bit-identical,
-// nil-Observer simulation paths are allocation-free, and configurations
-// are validated before use. See the per-analyzer files and
-// docs/ARCHITECTURE.md ("Static analysis").
+// SeedSrc, AllocFree, SyncGuard, GoroLeak) encode invariants that every
+// reproduced table in EXPERIMENTS.md — and the arbd daemon's
+// concurrency discipline — rests on: fixed-seed runs are bit-identical,
+// nil-Observer simulation paths are allocation-free, configurations are
+// validated before use, the arbitration hot paths never allocate,
+// mutex-guarded fields are touched only under their lock, and every
+// spawned goroutine has a shutdown path. See the per-analyzer files and
+// docs/LINT.md.
 //
 // A diagnostic can be suppressed at the offending line (or the line
 // above it) with the escape hatch
@@ -69,12 +74,31 @@ type Pass struct {
 	diags []Diagnostic
 }
 
+// Diagnostic kinds, carried so machine consumers (arblint -json) can
+// distinguish real findings from the annotation-hygiene diagnostics.
+const (
+	// KindFinding is a violation the analyzer itself reported.
+	KindFinding = "finding"
+	// KindUnusedAllow is an //arblint:allow comment that suppressed
+	// nothing.
+	KindUnusedAllow = "unused-allow"
+	// KindUnusedAlloc is an //arblint:alloc comment that excused
+	// nothing.
+	KindUnusedAlloc = "unused-alloc"
+	// KindInapplicableAllow is an annotation naming an analyzer that is
+	// unknown or never runs in the annotated package (see CheckAllows).
+	KindInapplicableAllow = "inapplicable-allow"
+)
+
 // Diagnostic is one finding, with its position already resolved so the
 // driver and tests can sort and print without a FileSet at hand.
 type Diagnostic struct {
 	Pos      token.Position
 	Message  string
 	Analyzer string
+	// Kind classifies the diagnostic: KindFinding for analyzer
+	// violations, or one of the annotation-hygiene kinds.
+	Kind string
 }
 
 func (d Diagnostic) String() string {
@@ -87,6 +111,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 		Analyzer: p.Analyzer.Name,
+		Kind:     KindFinding,
 	})
 }
 
@@ -96,6 +121,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // entry point shared by the cmd/arblint driver and the analysistest
 // harness, so the escape hatch behaves identically in both.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	diags, _, err := AnalyzePackage(a, pkg)
+	return diags, err
+}
+
+// AnalyzePackage is RunAnalyzer with bookkeeping: it also reports how
+// many diagnostics //arblint:allow comments suppressed, which is what
+// `arblint -stats` aggregates.
+func AnalyzePackage(a *Analyzer, pkg *Package) ([]Diagnostic, int, error) {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
@@ -104,12 +137,17 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Info:     pkg.Info,
 	}
 	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		return nil, 0, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
 	}
-	diags := filterAllows(a.Name, pkg, pass.diags)
+	diags, suppressed := filterAllows(a.Name, pkg, pass.diags)
 	sortDiagnostics(diags)
-	return diags, nil
+	return diags, suppressed, nil
 }
+
+// SortDiagnostics orders diagnostics by file, line, column, then
+// message — the global order cmd/arblint prints, byte-deterministic
+// across runs.
+func SortDiagnostics(diags []Diagnostic) { sortDiagnostics(diags) }
 
 func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {

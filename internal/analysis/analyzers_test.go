@@ -28,6 +28,18 @@ func TestSeedSrc(t *testing.T) {
 	analysistest.Run(t, analysis.SeedSrc, "testdata/src/seedsrc")
 }
 
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, analysis.AllocFree, "testdata/src/allocfree")
+}
+
+func TestSyncGuard(t *testing.T) {
+	analysistest.Run(t, analysis.SyncGuard, "testdata/src/syncguard")
+}
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, analysis.GoroLeak, "testdata/src/goroleak")
+}
+
 // TestAnalyzerScope pins the package filters: determinism binds in the
 // simulator and cmd packages only, nilprobe in simulator packages only,
 // seedsrc everywhere but the blessed internal/rng, validatecall
@@ -57,6 +69,16 @@ func TestAnalyzerScope(t *testing.T) {
 		{analysis.NilProbe, "busarb/cmd/arbtrace", false},
 		{analysis.SeedSrc, "busarb/internal/rng", false},
 		{analysis.SeedSrc, "busarb/internal/workload", true},
+		{analysis.AllocFree, "busarb/internal/bitarb", true},
+		{analysis.AllocFree, "busarb/internal/arbd/codec", true},
+		{analysis.AllocFree, "busarb/internal/grant", true},
+		{analysis.AllocFree, "busarb/internal/topo", true},
+		{analysis.AllocFree, "busarb/internal/arbd", false},
+		{analysis.AllocFree, "busarb/internal/sim", false},
+		{analysis.GoroLeak, "busarb/internal/arbd", true},
+		{analysis.GoroLeak, "busarb/client", true},
+		{analysis.GoroLeak, "busarb/internal/arbd/codec", false},
+		{analysis.GoroLeak, "busarb/internal/sim", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.AppliesTo(c.path); got != c.want {
@@ -65,5 +87,8 @@ func TestAnalyzerScope(t *testing.T) {
 	}
 	if analysis.ValidateCall.AppliesTo != nil {
 		t.Error("validatecall should apply to every package (nil AppliesTo)")
+	}
+	if analysis.SyncGuard.AppliesTo != nil {
+		t.Error("syncguard should apply to every package (nil AppliesTo): unannotated packages cost nothing")
 	}
 }

@@ -1,0 +1,397 @@
+// Package cfg builds intraprocedural control-flow graphs over Go
+// function bodies and offers the two facilities the arblint analyzers
+// share: dominator queries and a forward must-facts worklist.
+//
+// The graph is deliberately small. Blocks hold the statements and
+// condition expressions that execute straight-line, in source order;
+// edges carry the branch condition (and its polarity) when control
+// splits on one. That is exactly enough for the three dataflow
+// analyzers built on top:
+//
+//   - nilprobe derives "this probe expression is non-nil" facts from
+//     condition edges and intersects them at joins, which is the
+//     textbook formulation of the dominance-by-a-guard rule its first
+//     version approximated with an ad-hoc statement walker;
+//   - allocfree tracks which slice values are provably reuse-backed
+//     (derived from a parameter or a field reslice) through
+//     assignments, so appends on the hot path can be proven to reuse
+//     capacity;
+//   - syncguard gens a fact at mu.Lock() and kills it at mu.Unlock(),
+//     requiring the fact at every guarded field access;
+//   - goroleak asks whether the WaitGroup.Add call dominates the go
+//     statement it covers.
+//
+// The builder is syntactic: it needs no type information, handles
+// every statement form including labeled break/continue, goto and
+// fallthrough, and keeps unreachable code in the graph (as blocks with
+// no predecessors) so analyzers still see it — with the empty fact
+// set, the conservative answer.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first. Exit is the single
+	// synthetic block every return, panic and fall-off-the-end reaches.
+	Entry, Exit *Block
+	// Blocks lists every block, indexed by Block.Index. Unreachable
+	// blocks (dead code after a return, say) are present with no
+	// predecessors.
+	Blocks []*Block
+
+	idom []int // immediate dominator per block index; -1 unreachable
+}
+
+// Block is a straight-line run of statements and condition
+// expressions, in execution order.
+type Block struct {
+	Index int
+	// Nodes holds the block's statements and the condition expressions
+	// evaluated in it. Compound statements never appear whole: an if
+	// contributes its Init statement and Cond expression here and its
+	// branches to other blocks.
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Edge is one control-flow transfer. When the transfer is one arm of
+// a conditional branch, Cond is the controlling expression and Branch
+// its polarity: true for the arm taken when Cond holds.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Branch   bool
+}
+
+// Build constructs the graph of one function body (a *ast.FuncDecl's
+// or *ast.FuncLit's Body). Function literals nested inside body are
+// not expanded — they execute at another time and get their own
+// graphs.
+func Build(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: make(map[string]*Block),
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.jump(b.g.Exit)
+	b.g.computeDominators()
+	return b.g
+}
+
+// scope is one enclosing breakable (loop, switch, select) construct.
+type scope struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil after a terminating statement
+	scopes []scope
+	labels map[string]*Block
+	fall   *Block // dangling fallthrough source awaiting the next case
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// current returns the block under construction, starting a fresh
+// (unreachable) one when control cannot arrive here — dead code keeps
+// a home so analyzers still visit it.
+func (b *builder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		blk := b.current()
+		blk.Nodes = append(blk.Nodes, n)
+	}
+}
+
+func (b *builder) edge(from, to *Block, cond ast.Expr, branch bool) {
+	e := &Edge{From: from, To: to, Cond: cond, Branch: branch}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// jump ends the current block with an unconditional edge to target.
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, to, nil, false)
+		b.cur = nil
+	}
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	blk, ok := b.labels[name]
+	if !ok {
+		blk = b.newBlock()
+		b.labels[name] = blk
+	}
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label block is the goto target; falling off the previous
+		// statement enters it too.
+		target := b.labelBlock(s.Label.Name)
+		b.jump(target)
+		b.cur = target
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Cond)
+		head := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(head, then, s.Cond, true)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.jump(join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(head, els, s.Cond, false)
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.jump(join)
+		} else {
+			b.edge(head, join, s.Cond, false)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		head := b.newBlock()
+		b.current()
+		b.jump(head)
+		body := b.newBlock()
+		exit := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, body, s.Cond, true)
+			b.edge(head, exit, s.Cond, false)
+		} else {
+			b.edge(head, body, nil, false)
+		}
+		cont := head
+		if s.Post != nil {
+			cont = b.newBlock()
+			b.cur = cont
+			b.stmt(s.Post, "")
+			b.jump(head)
+		}
+		b.scopes = append(b.scopes, scope{label: label, breakTo: exit, continueTo: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.jump(cont)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.current()
+		b.jump(head)
+		head.Nodes = append(head.Nodes, s.X)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(head, body, nil, false)
+		b.edge(head, exit, nil, false)
+		b.scopes = append(b.scopes, scope{label: label, breakTo: exit, continueTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.jump(head)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body, label, func(blk *Block, c *ast.CaseClause) {
+			for _, e := range c.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body, label, func(*Block, *ast.CaseClause) {})
+
+	case *ast.SelectStmt:
+		head := b.current()
+		b.cur = nil
+		exit := b.newBlock()
+		b.scopes = append(b.scopes, scope{label: label, breakTo: exit})
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			b.edge(head, blk, nil, false)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			}
+			b.stmtList(cc.Body)
+			b.jump(exit)
+		}
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = exit
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if to := b.findBreak(s.Label); to != nil {
+				b.current()
+				b.jump(to)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if to := b.findContinue(s.Label); to != nil {
+				b.current()
+				b.jump(to)
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.current()
+			b.jump(b.labelBlock(s.Label.Name))
+		case token.FALLTHROUGH:
+			b.fall = b.current()
+			b.cur = nil
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.jump(b.g.Exit)
+		}
+
+	case nil:
+		// nothing
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go, defer, empty:
+		// straight-line statements.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch shape: every clause is entered
+// from the head, fallthrough chains to the next clause, and a missing
+// default adds a no-match edge straight to the exit.
+func (b *builder) caseClauses(body *ast.BlockStmt, label string, addCase func(*Block, *ast.CaseClause)) {
+	head := b.current()
+	b.cur = nil
+	exit := b.newBlock()
+	b.scopes = append(b.scopes, scope{label: label, breakTo: exit})
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+			if cc.List == nil {
+				hasDefault = true
+			}
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	for i, cc := range clauses {
+		blk := blocks[i]
+		b.edge(head, blk, nil, false)
+		addCase(blk, cc)
+		if b.fall != nil {
+			b.edge(b.fall, blk, nil, false)
+			b.fall = nil
+		}
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.jump(exit)
+	}
+	b.fall = nil
+	if !hasDefault {
+		b.edge(head, exit, nil, false)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = exit
+}
+
+func (b *builder) findBreak(label *ast.Ident) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := b.scopes[i]
+		if label == nil || sc.label == label.Name {
+			return sc.breakTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) findContinue(label *ast.Ident) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := b.scopes[i]
+		if sc.continueTo == nil {
+			continue
+		}
+		if label == nil || sc.label == label.Name {
+			return sc.continueTo
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a direct call of the predeclared
+// panic. The check is syntactic (no type info in the builder); a
+// shadowed panic would merely make the graph conservative.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,353 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as the body of a function and builds its graph.
+// src is the body's statement list, without braces.
+func buildFunc(t *testing.T, src string) *Graph {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Build(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// blockCalling returns the unique block containing a call to the named
+// function.
+func blockCalling(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			match := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						match = true
+					}
+				}
+				return !match
+			})
+			if match {
+				if found != nil && found != b {
+					t.Fatalf("call to %s in multiple blocks", name)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block calls %s", name)
+	}
+	return found
+}
+
+// identEdgeFacts makes a Flow whose edges prove "<name>" on the true
+// arm and "!<name>" on the false arm of an identifier condition.
+func identEdgeFacts() Flow {
+	return Flow{EdgeFacts: func(e *Edge) []string {
+		id, ok := e.Cond.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if e.Branch {
+			return []string{id.Name}
+		}
+		return []string{"!" + id.Name}
+	}}
+}
+
+func TestIfJoinDominance(t *testing.T) {
+	g := buildFunc(t, `
+a()
+if c {
+	b()
+} else {
+	d()
+}
+e()`)
+	ba, bb, bd, be := blockCalling(t, g, "a"), blockCalling(t, g, "b"), blockCalling(t, g, "d"), blockCalling(t, g, "e")
+	if !g.Dominates(ba, be) {
+		t.Error("a's block should dominate e's")
+	}
+	if g.Dominates(bb, be) || g.Dominates(bd, be) {
+		t.Error("neither branch should dominate the join")
+	}
+	if !g.Dominates(g.Entry, be) {
+		t.Error("entry should dominate everything reachable")
+	}
+	if g.Dominates(bb, bd) || g.Dominates(bd, bb) {
+		t.Error("sibling branches should not dominate each other")
+	}
+}
+
+func TestBranchFactsIntersectAtJoin(t *testing.T) {
+	g := buildFunc(t, `
+if c {
+	b()
+} else {
+	d()
+}
+e()`)
+	in := g.MustFacts(identEdgeFacts())
+	if bb := blockCalling(t, g, "b"); !in[bb.Index].Has("c") {
+		t.Error("then-branch should know c")
+	}
+	if bd := blockCalling(t, g, "d"); !in[bd.Index].Has("!c") {
+		t.Error("else-branch should know !c")
+	}
+	if be := blockCalling(t, g, "e"); in[be.Index].Has("c") || in[be.Index].Has("!c") {
+		t.Error("join should know neither: facts intersect")
+	}
+}
+
+func TestEarlyReturnPromotesFact(t *testing.T) {
+	// The false-arm fact reaches everything after a then-branch that
+	// returns — the CFG formulation of "if p == nil { return }".
+	g := buildFunc(t, `
+if c {
+	return
+}
+e()`)
+	in := g.MustFacts(identEdgeFacts())
+	if be := blockCalling(t, g, "e"); !in[be.Index].Has("!c") {
+		t.Error("code after the early return should know !c")
+	}
+}
+
+func TestPanicTerminatesBranch(t *testing.T) {
+	g := buildFunc(t, `
+if c {
+	panic("no")
+}
+e()`)
+	in := g.MustFacts(identEdgeFacts())
+	if be := blockCalling(t, g, "e"); !in[be.Index].Has("!c") {
+		t.Error("code after a panicking branch should know !c")
+	}
+}
+
+func TestLoopFactsSurviveBackedge(t *testing.T) {
+	// A fact established before the loop and never killed must hold in
+	// the body across iterations; one gen'd only on a branch inside the
+	// loop must not leak to the next iteration.
+	g := buildFunc(t, `
+if p {
+} else {
+	return
+}
+for i := 0; i < n; i++ {
+	if q {
+		b()
+	}
+	e()
+}`)
+	in := g.MustFacts(identEdgeFacts())
+	be := blockCalling(t, g, "e")
+	if !in[be.Index].Has("p") {
+		t.Error("pre-loop fact should survive the backedge")
+	}
+	if in[be.Index].Has("q") {
+		t.Error("branch-local fact must not survive to the loop tail")
+	}
+	if bb := blockCalling(t, g, "b"); !in[bb.Index].Has("q") {
+		t.Error("guarded block should know q")
+	}
+}
+
+// lockFlow gens fact L at lock() and kills it at unlock(): the
+// syncguard shape.
+func lockFlow() Flow {
+	return Flow{
+		Transfer: func(n ast.Node, facts Set) {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "lock":
+							facts.Add("L")
+						case "unlock":
+							facts.Remove("L")
+						}
+					}
+				}
+				return true
+			})
+		},
+	}
+}
+
+func TestTransferGenKillWithinBlock(t *testing.T) {
+	// lock(); a(); unlock(); e() is one straight-line block: clients
+	// replay the transfer node by node, checking before transferring.
+	flow := lockFlow()
+	g := buildFunc(t, `
+lock()
+a()
+unlock()
+e()`)
+	in := g.MustFacts(flow)
+	facts := in[g.Entry.Index].Clone()
+	held := map[string]bool{}
+	for _, n := range g.Entry.Nodes {
+		var name string
+		ast.Inspect(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					name = id.Name
+				}
+			}
+			return true
+		})
+		if name == "a" || name == "e" {
+			held[name] = facts.Has("L")
+		}
+		flow.Transfer(n, facts)
+	}
+	if !held["a"] {
+		t.Error("L should be held at a(): lock() transferred before it")
+	}
+	if held["e"] {
+		t.Error("L must not be held at e(): unlock() transferred before it")
+	}
+}
+
+func TestLockHeldAcrossBranch(t *testing.T) {
+	flow := lockFlow()
+	g := buildFunc(t, `
+lock()
+if c {
+	unlock()
+	return
+}
+e()
+unlock()`)
+	in := g.MustFacts(flow)
+	if be := blockCalling(t, g, "e"); !in[be.Index].Has("L") {
+		t.Error("lock should be held at e(): the unlocking path returned")
+	}
+
+	g2 := buildFunc(t, `
+lock()
+if c {
+	unlock()
+}
+e()`)
+	in2 := g2.MustFacts(flow)
+	if be := blockCalling(t, g2, "e"); in2[be.Index].Has("L") {
+		t.Error("lock must not be proven at e(): one path unlocked")
+	}
+}
+
+func TestLabeledBreakAndContinue(t *testing.T) {
+	g := buildFunc(t, `
+outer:
+for {
+	for {
+		if c {
+			break outer
+		}
+		if d {
+			continue outer
+		}
+		b()
+	}
+}
+e()`)
+	be := blockCalling(t, g, "e")
+	if len(be.Preds) == 0 {
+		t.Error("e() should be reachable via break outer")
+	}
+	if !g.Dominates(g.Entry, be) {
+		t.Error("entry should dominate the post-loop block")
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := buildFunc(t, `
+switch x {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+}
+e()`)
+	ba, bb := blockCalling(t, g, "a"), blockCalling(t, g, "b")
+	fell := false
+	for _, e := range bb.Preds {
+		if e.From == ba {
+			fell = true
+		}
+	}
+	if !fell {
+		t.Error("fallthrough should add an edge from case 1 to case 2")
+	}
+	// No default: the head must reach e() directly, so neither case
+	// dominates it.
+	if be := blockCalling(t, g, "e"); g.Dominates(bb, be) {
+		t.Error("case body must not dominate the code after the switch")
+	}
+}
+
+func TestSelectAndGoto(t *testing.T) {
+	g := buildFunc(t, `
+for i := 0; i < 3; i++ {
+	if c {
+		goto done
+	}
+}
+select {
+case v := <-ch:
+	a(v)
+case out <- 1:
+	b()
+}
+done:
+e()`)
+	be := blockCalling(t, g, "e")
+	if len(be.Preds) < 2 {
+		t.Errorf("done label should be reached by goto and fallthrough, got %d preds", len(be.Preds))
+	}
+	ba := blockCalling(t, g, "a")
+	if g.Dominates(ba, be) {
+		t.Error("one select arm must not dominate the label")
+	}
+}
+
+func TestUnreachableCode(t *testing.T) {
+	g := buildFunc(t, `
+if c {
+} else {
+	return
+}
+return
+e()`)
+	be := blockCalling(t, g, "e")
+	if g.Dominates(g.Entry, be) {
+		t.Error("dead code should not be dominated by the entry")
+	}
+	in := g.MustFacts(identEdgeFacts())
+	if len(in[be.Index]) != 0 {
+		t.Error("dead code should carry no facts")
+	}
+}
+
+func TestExitReachableFromAllReturns(t *testing.T) {
+	g := buildFunc(t, `
+if c {
+	return
+}
+e()`)
+	if len(g.Exit.Preds) < 2 {
+		t.Errorf("exit should join the return and the fall-off end, got %d preds", len(g.Exit.Preds))
+	}
+}

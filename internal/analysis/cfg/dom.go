@@ -1,0 +1,112 @@
+package cfg
+
+// Dominator computation: the Cooper–Harvey–Kennedy iterative
+// algorithm over a reverse-postorder numbering. Small graphs, no
+// need for Lengauer–Tarjan.
+
+// computeDominators fills g.idom. Called once by Build.
+func (g *Graph) computeDominators() {
+	n := len(g.Blocks)
+	g.idom = make([]int, n)
+	for i := range g.idom {
+		g.idom[i] = -1
+	}
+	if n == 0 {
+		return
+	}
+
+	// Postorder DFS from the entry; unreachable blocks keep idom -1.
+	post := make([]*Block, 0, n)
+	seen := make([]bool, n)
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			if !seen[e.To.Index] {
+				dfs(e.To)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+
+	// rpoNum orders blocks so that intersect can walk up.
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range post {
+		rpoNum[b.Index] = len(post) - 1 - i
+	}
+
+	g.idom[g.Entry.Index] = g.Entry.Index
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = g.idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = g.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		// Reverse postorder: walk post backwards.
+		for i := len(post) - 1; i >= 0; i-- {
+			b := post[i]
+			if b == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, e := range b.Preds {
+				p := e.From.Index
+				if g.idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && g.idom[b.Index] != newIdom {
+				g.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// Idom returns b's immediate dominator, or nil for the entry block and
+// for unreachable blocks.
+func (g *Graph) Idom(b *Block) *Block {
+	i := g.idom[b.Index]
+	if i == -1 || i == b.Index {
+		return nil
+	}
+	return g.Blocks[i]
+}
+
+// Dominates reports whether a dominates b: every path from the entry
+// to b passes through a. A block dominates itself. Unreachable blocks
+// are dominated by nothing and dominate nothing (except themselves).
+func (g *Graph) Dominates(a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	if g.idom[a.Index] == -1 || g.idom[b.Index] == -1 {
+		return false
+	}
+	for i := b.Index; ; {
+		next := g.idom[i]
+		if next == i {
+			return false // reached the entry
+		}
+		if next == a.Index {
+			return true
+		}
+		i = next
+	}
+}

@@ -1,0 +1,114 @@
+package cfg
+
+import "go/ast"
+
+// Set is a set of dataflow facts, keyed by strings the client
+// analyzer chooses (canonical expression text, object positions).
+type Set map[string]bool
+
+// Has reports whether the fact is in the set.
+func (s Set) Has(k string) bool { return s[k] }
+
+// Add inserts a fact.
+func (s Set) Add(k string) { s[k] = true }
+
+// Remove deletes a fact.
+func (s Set) Remove(k string) { delete(s, k) }
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// intersectWith removes facts absent from other, reporting whether the
+// set changed.
+func (s Set) intersectWith(other Set) bool {
+	changed := false
+	for k := range s {
+		if !other[k] {
+			delete(s, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Flow configures a forward must-analysis: a fact holds at a point
+// only if it holds along every path reaching it (sets intersect at
+// joins).
+type Flow struct {
+	// Entry facts hold when the function is entered.
+	Entry []string
+	// Transfer applies one block node's effect to the running set —
+	// gen and kill by mutating facts. Nil means facts flow through
+	// statements unchanged.
+	Transfer func(n ast.Node, facts Set)
+	// EdgeFacts returns the facts proven by traversing e — typically
+	// derived from e.Cond and e.Branch. Nil means edges prove nothing.
+	EdgeFacts func(e *Edge) []string
+}
+
+// MustFacts runs the worklist to a fixpoint and returns the facts
+// holding at each block's entry, indexed by Block.Index. Unreachable
+// blocks get the empty set — the conservative answer, so analyzers
+// still check dead code with no assumptions.
+//
+// Termination: block-entry sets only ever shrink (they are refined by
+// intersection), so each block re-enters the worklist finitely often.
+func (g *Graph) MustFacts(f Flow) []Set {
+	in := make([]Set, len(g.Blocks))
+	entry := make(Set, len(f.Entry))
+	for _, k := range f.Entry {
+		entry.Add(k)
+	}
+	in[g.Entry.Index] = entry
+
+	work := []*Block{g.Entry}
+	queued := make([]bool, len(g.Blocks))
+	queued[g.Entry.Index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		out := in[b.Index].Clone()
+		if f.Transfer != nil {
+			for _, n := range b.Nodes {
+				f.Transfer(n, out)
+			}
+		}
+		for _, e := range b.Succs {
+			facts := out
+			if f.EdgeFacts != nil {
+				if extra := f.EdgeFacts(e); len(extra) > 0 {
+					facts = out.Clone()
+					for _, k := range extra {
+						facts.Add(k)
+					}
+				}
+			}
+			t := e.To.Index
+			changed := false
+			if in[t] == nil {
+				in[t] = facts.Clone()
+				changed = true
+			} else if in[t].intersectWith(facts) {
+				changed = true
+			}
+			if changed && !queued[t] {
+				queued[t] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	for i := range in {
+		if in[i] == nil {
+			in[i] = Set{}
+		}
+	}
+	return in
+}

@@ -3,6 +3,8 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+
+	"busarb/internal/analysis/cfg"
 )
 
 // NilProbe enforces the observability layer's zero-cost contract
@@ -23,9 +25,14 @@ import (
 //     nil-Observer check. This is exactly the pattern around the
 //     arbitration-snapshot copy in bussim.beginArbitration.
 //
-// Dominance is tracked syntactically per function: guards do not
-// survive into deferred calls or function literals, which run at other
-// times.
+// Dominance is computed on the internal/analysis/cfg control-flow
+// graph as a forward must-analysis: a condition edge `P != nil`
+// (possibly one conjunct of &&) proves P on its true arm, `P == nil`
+// proves P on its false arm, and facts intersect at joins — so a guard
+// whose nil branch returns or panics extends its proof to everything
+// after, and a guard from only one of two joining paths proves
+// nothing. Facts never cross into deferred calls, go statements or
+// function literals, which run at other times.
 //
 // One structural exemption: the body of an OnEvent(obs.Event) method —
 // i.e. a Probe implementation, like mp's missProbe or obs.Multi — is
@@ -46,7 +53,7 @@ func runNilProbe(pass *Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && !isProbeImpl(pass, fd) {
-				w.stmts(fd.Body.List, nil)
+				w.checkBody(fd.Body)
 			}
 		}
 	}
@@ -121,161 +128,82 @@ func (p *Pass) probeReceiver(call *ast.CallExpr) ast.Expr {
 	return nil
 }
 
-// probeWalker walks a function body carrying the set of probe-typed
-// expressions currently proven non-nil (by their canonical source
-// text).
+// probeWalker checks one package's emissions against the guard facts
+// the cfg must-analysis proves. Guard facts are keyed by the probe
+// expression's canonical source text.
 type probeWalker struct {
 	pass     *Pass
 	emitters map[*types.Func]bool
 }
 
-type guardSet map[string]bool
-
-func (g guardSet) with(names []string) guardSet {
-	if len(names) == 0 {
-		return g
+// checkBody builds the body's control-flow graph, runs the nil-guard
+// must-analysis, and checks every emission under the facts proven at
+// its program point. Nested function literals start over with their
+// own graphs and no inherited facts.
+func (w *probeWalker) checkBody(body *ast.BlockStmt) {
+	g := cfg.Build(body)
+	in := g.MustFacts(cfg.Flow{EdgeFacts: w.edgeFacts})
+	for _, blk := range g.Blocks {
+		facts := in[blk.Index]
+		for _, n := range blk.Nodes {
+			w.checkNode(n, facts)
+		}
 	}
-	out := make(guardSet, len(g)+len(names))
-	for k := range g {
-		out[k] = true
-	}
-	for _, n := range names {
-		out[n] = true
-	}
-	return out
 }
 
-// stmts walks a statement list in order, returning the guard set in
-// force after it (early-return nil checks extend the set for the
-// statements that follow).
-func (w *probeWalker) stmts(list []ast.Stmt, g guardSet) guardSet {
-	for _, s := range list {
-		g = w.stmt(s, g)
+// edgeFacts turns a branch condition into proven-non-nil guard facts:
+// `P != nil` (alone or among && conjuncts) proves P on the true arm,
+// a sole `P == nil` proves P on the false arm.
+func (w *probeWalker) edgeFacts(e *cfg.Edge) []string {
+	if e.Cond == nil {
+		return nil
 	}
-	return g
+	nonNil, isNil := w.splitNilCond(e.Cond)
+	if e.Branch {
+		return nonNil
+	}
+	return isNil
 }
 
-func (w *probeWalker) stmt(s ast.Stmt, g guardSet) guardSet {
-	switch s := s.(type) {
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, g)
-		}
-		w.exprs(g, s.Cond)
-		nonNil, isNil := w.splitNilCond(s.Cond)
-		w.stmts(s.Body.List, g.with(nonNil))
-		if s.Else != nil {
-			// `if P == nil { ... } else { ... }`: the else branch has P.
-			w.stmt(s.Else, g.with(isNil))
-		}
-		// `if P == nil { return }` proves P for everything after.
-		if len(isNil) > 0 && terminates(s.Body) {
-			g = g.with(isNil)
-		}
-	case *ast.BlockStmt:
-		g = w.stmts(s.List, g)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, g)
-		}
-		w.exprs(g, s.Cond)
-		if s.Post != nil {
-			w.stmt(s.Post, g)
-		}
-		w.stmts(s.Body.List, g)
-	case *ast.RangeStmt:
-		w.exprs(g, s.X)
-		w.stmts(s.Body.List, g)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, g)
-		}
-		w.exprs(g, s.Tag)
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.exprs(g, cc.List...)
-				w.stmts(cc.Body, g)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, g)
-		}
-		w.stmt(s.Assign, g)
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.stmts(cc.Body, g)
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				if cc.Comm != nil {
-					w.stmt(cc.Comm, g)
-				}
-				w.stmts(cc.Body, g)
-			}
-		}
-	case *ast.LabeledStmt:
-		g = w.stmt(s.Stmt, g)
-	case *ast.ExprStmt:
-		w.exprs(g, s.X)
-	case *ast.AssignStmt:
-		w.exprs(g, s.Rhs...)
-		w.exprs(g, s.Lhs...)
-	case *ast.ReturnStmt:
-		w.exprs(g, s.Results...)
-	case *ast.SendStmt:
-		w.exprs(g, s.Chan, s.Value)
-	case *ast.IncDecStmt:
-		w.exprs(g, s.X)
+// checkNode checks the emissions syntactically inside one block node.
+// The calls inside go and defer statements run at another time, when
+// the guards may no longer hold, so they are checked with no facts —
+// as are function literal bodies, via their own graphs.
+func (w *probeWalker) checkNode(n ast.Node, facts cfg.Set) {
+	switch s := n.(type) {
 	case *ast.GoStmt:
-		// The call runs at another time; its guards may no longer hold.
-		w.exprs(nil, s.Call)
+		w.checkExpr(s.Call, cfg.Set{})
+		return
 	case *ast.DeferStmt:
-		w.exprs(nil, s.Call)
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					w.exprs(g, vs.Values...)
-				}
-			}
-		}
+		w.checkExpr(s.Call, cfg.Set{})
+		return
 	}
-	return g
+	w.checkExpr(n, facts)
 }
 
-// exprs checks every emission reachable from the given expressions
-// under the guard set g. Function literals start over with no guards.
-func (w *probeWalker) exprs(g guardSet, exprs ...ast.Expr) {
-	for _, e := range exprs {
-		if e == nil {
-			continue
+func (w *probeWalker) checkExpr(n ast.Node, facts cfg.Set) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			w.checkBody(x.Body)
+			return false
+		case *ast.CallExpr:
+			w.checkCall(x, facts)
 		}
-		ast.Inspect(e, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncLit:
-				w.stmts(n.Body.List, nil)
-				return false
-			case *ast.CallExpr:
-				w.checkCall(n, g)
-			}
-			return true
-		})
-	}
+		return true
+	})
 }
 
-func (w *probeWalker) checkCall(call *ast.CallExpr, g guardSet) {
+func (w *probeWalker) checkCall(call *ast.CallExpr, facts cfg.Set) {
 	if recv := w.pass.probeReceiver(call); recv != nil {
-		if !g[types.ExprString(recv)] {
+		if !facts.Has(types.ExprString(recv)) {
 			w.pass.Reportf(call.Pos(), "%s.OnEvent is not dominated by a nil check of %s; a nil Observer must cost nothing (internal/obs zero-cost contract)",
 				types.ExprString(recv), types.ExprString(recv))
 		}
 		return
 	}
 	if fn := calleeFunc(w.pass.Info, call); fn != nil && w.emitters[fn] {
-		if len(g) == 0 && hasAllocatingArg(w.pass.Info, call) {
+		if len(facts) == 0 && hasAllocatingArg(w.pass.Info, call) {
 			w.pass.Reportf(call.Pos(), "allocating argument to probe-emitting helper %s outside a nil-Observer guard; build the event only when a probe is attached",
 				fn.Name())
 		}
@@ -315,25 +243,6 @@ func (w *probeWalker) splitNilCond(cond ast.Expr) (nonNil, isNil []string) {
 func isNilIdent(e ast.Expr) bool {
 	id, ok := ast.Unparen(e).(*ast.Ident)
 	return ok && id.Name == "nil"
-}
-
-// terminates reports whether a block always transfers control out
-// (return, panic, or a loop/branch escape as its last statement).
-func terminates(b *ast.BlockStmt) bool {
-	if len(b.List) == 0 {
-		return false
-	}
-	switch last := b.List[len(b.List)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // hasAllocatingArg reports whether any argument expression performs a

@@ -44,4 +44,4 @@ func runSeedSrc(pass *Pass) error {
 }
 
 // Analyzers is the arblint suite, in the order the driver runs it.
-var Analyzers = []*Analyzer{Determinism, NilProbe, ValidateCall, SeedSrc}
+var Analyzers = []*Analyzer{Determinism, NilProbe, ValidateCall, SeedSrc, AllocFree, SyncGuard, GoroLeak}

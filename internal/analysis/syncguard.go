@@ -1,0 +1,446 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"busarb/internal/analysis/cfg"
+)
+
+// SyncGuard brings the daemon's concurrency discipline under static
+// lint. It is annotation-driven: a struct field declares its guard in
+// its comment, and every access is then checked against it.
+//
+//	mu    sync.Mutex
+//	conns map[net.Conn]bool // guarded by mu
+//
+// An access s.conns is legal only where the must-analysis proves
+// s.mu is held: s.mu.Lock() gens the fact, s.mu.Unlock() kills it,
+// facts intersect at joins, and a deferred Unlock does not kill (it
+// runs on the way out). A function whose doc comment says "callers
+// hold s.mu" starts with the fact — the *Locked-suffix convention made
+// checkable.
+//
+//	waiters []waiter // owned by the loop goroutine
+//
+// declares single-goroutine ownership instead: the field may only be
+// touched by the named function and the functions called exclusively
+// from it (the owner set is a greatest fixpoint over the package's
+// call graph, where call sites inside go statements and function
+// literals never confer ownership), plus constructors — functions
+// returning the struct type, which run before the goroutine exists.
+// This is how internal/arbd's "loop-owned state, no locking" comment
+// becomes an enforced invariant rather than prose.
+//
+// The analyzer runs on every package but costs nothing where no field
+// is annotated. Misspelled annotations (naming a mutex that is not a
+// sync.Mutex/RWMutex sibling field, or an owner function that does not
+// exist) are diagnostics themselves.
+var SyncGuard = &Analyzer{
+	Name: "syncguard",
+	Doc: "fields declared `// guarded by <mu>` need the mutex held at every access; " +
+		"`// owned by the <f> goroutine` fields are single-goroutine state",
+	Run: runSyncGuard,
+}
+
+var (
+	guardedByRE = regexp.MustCompile(`//.*\bguarded by (\w+)\b`)
+	ownedByRE   = regexp.MustCompile(`//.*\bowned by the (\w+) goroutine\b`)
+	callersRE   = regexp.MustCompile(`(?i)//.*\bcallers hold (\w+(?:\.\w+)+)`)
+)
+
+// guardedField is one annotated field.
+type guardedField struct {
+	obj   *types.Var // the field object
+	mutex string     // "guarded by" mutex field name, or ""
+	owner string     // "owned by" goroutine root function name, or ""
+}
+
+func runSyncGuard(pass *Pass) error {
+	s := &syncChecker{pass: pass, fields: make(map[*types.Var]*guardedField)}
+	s.collectFields()
+	if len(s.fields) == 0 {
+		return nil
+	}
+	s.buildOwnerSets()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				s.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+type syncChecker struct {
+	pass   *Pass
+	fields map[*types.Var]*guardedField
+	// owners maps an owner root name to the set of functions whose
+	// every call site sits inside the set (the single-goroutine call
+	// tree rooted at the owner).
+	owners map[string]map[*types.Func]bool
+	decls  map[*types.Func]*ast.FuncDecl
+}
+
+// collectFields finds the annotated struct fields. Both comment
+// positions work: the field's line comment and a doc comment above it.
+func (s *syncChecker) collectFields() {
+	for _, f := range s.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := ""
+				if field.Doc != nil {
+					text += field.Doc.Text() + "\n"
+				}
+				if field.Comment != nil {
+					text += field.Comment.Text()
+				}
+				// Comment.Text() strips the // markers; re-add one so the
+				// annotation regexps share a single grammar with raw
+				// comments.
+				text = "// " + strings.ReplaceAll(text, "\n", "\n// ")
+				gf := guardedField{}
+				if m := guardedByRE.FindStringSubmatch(text); m != nil {
+					gf.mutex = m[1]
+				}
+				if m := ownedByRE.FindStringSubmatch(text); m != nil {
+					gf.owner = m[1]
+				}
+				if gf.mutex == "" && gf.owner == "" {
+					continue
+				}
+				if gf.mutex != "" && !s.structHasMutex(st, gf.mutex) {
+					s.pass.Reportf(field.Pos(), "guarded-by annotation names %s, which is not a sync.Mutex or sync.RWMutex field of this struct", gf.mutex)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := s.pass.Info.Defs[name].(*types.Var); ok {
+						g := gf
+						g.obj = obj
+						s.fields[obj] = &g
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// structHasMutex reports whether the struct declares a field named
+// name whose type is sync.Mutex or sync.RWMutex.
+func (s *syncChecker) structHasMutex(st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, fn := range field.Names {
+			if fn.Name != name {
+				continue
+			}
+			if obj := s.pass.Info.Defs[fn]; obj != nil && isMutexType(obj.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// buildOwnerSets computes, for every owner root named by an
+// annotation, the greatest set of package functions reachable only
+// from the root: a function stays in the set while the root is it, or
+// it has call sites and every one sits inside the set — outside any go
+// statement or function literal (code that runs on other goroutines).
+// Functions referenced as values (method handlers, registry factories)
+// leave the set: the reference could be called from anywhere.
+func (s *syncChecker) buildOwnerSets() {
+	s.decls = make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range s.pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := s.pass.Info.Defs[fd.Name].(*types.Func); ok {
+					s.decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	roots := make(map[string]bool)
+	for _, gf := range s.fields {
+		if gf.owner != "" {
+			roots[gf.owner] = true
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// callers[f] lists the functions with a direct, same-goroutine call
+	// to f; escaped[f] marks calls from inside go/FuncLit and uses of f
+	// as a value.
+	callers := make(map[*types.Func][]*types.Func)
+	escaped := make(map[*types.Func]bool)
+	for fn, fd := range s.decls {
+		if fd.Body == nil {
+			continue
+		}
+		var walk func(n ast.Node, inOther bool)
+		walk = func(n ast.Node, inOther bool) {
+			ast.Inspect(n, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.GoStmt:
+					// The spawned call and its arguments run elsewhere.
+					walk(x.Call, true)
+					return false
+				case *ast.FuncLit:
+					walk(x.Body, true)
+					return false
+				case *ast.CallExpr:
+					if callee := calleeFunc(s.pass.Info, x); callee != nil && s.decls[callee] != nil {
+						if inOther {
+							escaped[callee] = true
+						} else {
+							callers[callee] = append(callers[callee], fn)
+						}
+						// Arguments (and a method's receiver chain) may
+						// still reference functions as values.
+						for _, arg := range x.Args {
+							walk(arg, inOther)
+						}
+						if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+							walk(sel.X, inOther)
+						}
+						return false
+					}
+				case *ast.Ident:
+					// A bare reference to a package function (not the
+					// callee position, handled above) escapes it.
+					if callee, ok := s.pass.Info.Uses[x].(*types.Func); ok && s.decls[callee] != nil {
+						escaped[callee] = true
+					}
+				case *ast.SelectorExpr:
+					if callee, ok := s.pass.Info.Uses[x.Sel].(*types.Func); ok && s.decls[callee] != nil {
+						escaped[callee] = true
+					}
+					walk(x.X, inOther)
+					return false
+				}
+				return true
+			})
+		}
+		walk(fd.Body, false)
+	}
+
+	s.owners = make(map[string]map[*types.Func]bool)
+	for root := range roots {
+		set := make(map[*types.Func]bool)
+		found := false
+		for fn := range s.decls {
+			if fn.Name() == root {
+				set[fn] = true
+				found = true
+			}
+			// Optimistically include everything; the fixpoint prunes.
+			set[fn] = true
+		}
+		if !found {
+			// Report once per file set: the annotation names a function
+			// that does not exist.
+			for _, gf := range s.fields {
+				if gf.owner == root {
+					s.pass.Reportf(gf.obj.Pos(), "owned-by annotation names goroutine %q, but no function or method %s exists in this package", root, root)
+					gf.owner = ""
+				}
+			}
+			continue
+		}
+		for changed := true; changed; {
+			changed = false
+			for fn := range set {
+				if fn.Name() == root {
+					continue
+				}
+				ok := !escaped[fn] && len(callers[fn]) > 0
+				if ok {
+					for _, caller := range callers[fn] {
+						if !set[caller] {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok {
+					delete(set, fn)
+					changed = true
+				}
+			}
+		}
+		s.owners[root] = set
+	}
+}
+
+// checkFunc checks every annotated-field access in one function.
+func (s *syncChecker) checkFunc(fd *ast.FuncDecl) {
+	fn, _ := s.pass.Info.Defs[fd.Name].(*types.Func)
+	isCtor := s.isConstructor(fd)
+
+	g := cfg.Build(fd.Body)
+	flow := cfg.Flow{
+		Entry:    s.docHeldFacts(fd),
+		Transfer: s.lockTransfer,
+	}
+	in := g.MustFacts(flow)
+	for _, blk := range g.Blocks {
+		facts := in[blk.Index].Clone()
+		for _, n := range blk.Nodes {
+			s.checkNode(n, facts, fn, isCtor, false)
+			s.lockTransfer(n, facts)
+		}
+	}
+}
+
+// docHeldFacts seeds the lock set from a "callers hold x.mu" doc
+// comment — the checkable form of the *Locked naming convention.
+func (s *syncChecker) docHeldFacts(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var facts []string
+	for _, cm := range fd.Doc.List {
+		if m := callersRE.FindStringSubmatch(cm.Text); m != nil {
+			facts = append(facts, "lock:"+m[1])
+		}
+	}
+	return facts
+}
+
+// lockTransfer gens a fact at <expr>.Lock()/RLock() and kills it at
+// <expr>.Unlock()/RUnlock(). Deferred unlocks run at return and kill
+// nothing here; calls inside go statements and function literals run
+// elsewhere and transfer nothing.
+func (s *syncChecker) lockTransfer(n ast.Node, facts cfg.Set) {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := ast.Unparen(sel.X)
+			if t := s.pass.Info.Types[recv].Type; t == nil || !isMutexType(t) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				facts.Add("lock:" + types.ExprString(recv))
+			case "Unlock", "RUnlock":
+				facts.Remove("lock:" + types.ExprString(recv))
+			}
+		}
+		return true
+	})
+}
+
+// checkNode checks the field accesses inside one block node. Function
+// literal bodies are checked with no lock facts (they may run on
+// another goroutine); go/defer calls likewise.
+func (s *syncChecker) checkNode(n ast.Node, facts cfg.Set, fn *types.Func, isCtor, inOther bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			s.checkNode(x.Body, cfg.Set{}, fn, isCtor, true)
+			return false
+		case *ast.GoStmt:
+			s.checkNode(x.Call, cfg.Set{}, fn, isCtor, true)
+			return false
+		case *ast.SelectorExpr:
+			s.checkAccess(x, facts, fn, isCtor)
+			// keep walking: the base may itself access guarded fields
+		}
+		return true
+	})
+}
+
+func (s *syncChecker) checkAccess(sel *ast.SelectorExpr, facts cfg.Set, fn *types.Func, isCtor bool) {
+	obj, ok := s.pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	gf, ok := s.fields[obj]
+	if !ok {
+		return
+	}
+	if gf.mutex != "" {
+		want := "lock:" + types.ExprString(ast.Unparen(sel.X)) + "." + gf.mutex
+		if !facts.Has(want) {
+			s.pass.Reportf(sel.Pos(), "access to %s (guarded by %s) without %s.%s held",
+				types.ExprString(sel), gf.mutex, types.ExprString(ast.Unparen(sel.X)), gf.mutex)
+		}
+	}
+	if gf.owner != "" {
+		if isCtor {
+			return // construction precedes the goroutine
+		}
+		if fn == nil || !s.owners[gf.owner][fn] {
+			where := "a function literal"
+			if fn != nil {
+				where = fn.Name()
+			}
+			s.pass.Reportf(sel.Pos(), "access to %s (owned by the %s goroutine) from %s, which is not in %s's single-goroutine call tree",
+				types.ExprString(sel), gf.owner, where, gf.owner)
+		}
+	}
+}
+
+// isConstructor reports whether fd returns the type (or pointer to the
+// type) declaring any owned field — construction happens before the
+// owning goroutine starts.
+func (s *syncChecker) isConstructor(fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		t := s.pass.Info.Types[res.Type].Type
+		if t == nil {
+			continue
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if gf, ok := s.fields[st.Field(i)]; ok && gf.owner != "" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+// Package allocfree is golden testdata for the allocfree analyzer.
+// The package path is outside the real hot-path scope table, so every
+// function here is treated as a hot path; each case pins one construct
+// rule, one reuse-backed proof shape, or the //arblint:alloc grammar.
+package allocfree
+
+type track struct {
+	buf  []byte
+	hops []int
+	n    int
+}
+
+// appendToParam is the codec dst contract: the caller owns a
+// parameter slice's storage, so growing it is the caller's capacity
+// policy, not an allocation of ours.
+func appendToParam(dst []byte, v byte) []byte {
+	dst = append(dst, v)
+	return dst
+}
+
+// resliceField is the amortized-growth idiom: t.buf[:0] reuses the
+// field's capacity, and the fact follows the value through locals.
+func (t *track) resliceField(v byte) {
+	b := t.buf[:0]
+	b = append(b, v)
+	t.buf = b
+}
+
+// fieldAppendAfterReslice: the reslice fact reaches the field append
+// directly, with no local in between.
+func (t *track) fieldAppendAfterReslice(v int) {
+	t.hops = t.hops[:0]
+	t.hops = append(t.hops, v)
+}
+
+// appendShapedHelper: a call that takes the slice first and returns a
+// slice keeps the storage reuse-backed (binary.AppendUvarint shape).
+func appendShapedHelper(dst []byte) []byte {
+	dst = appendToParam(dst, 7)
+	dst = append(dst, 8)
+	return dst
+}
+
+// bareFieldAppend has no reaching reslice: this is unbounded growth
+// on every call, not steady-state reuse.
+func (t *track) bareFieldAppend(v int) {
+	t.hops = append(t.hops, v) // want `append to t.hops is not provably reuse-backed`
+}
+
+// branchLoses: the reuse fact must hold on every path into the
+// append, and the nil arm kills it at the join.
+func (t *track) branchLoses(v byte, grow bool) {
+	var b []byte
+	if grow {
+		b = t.buf[:0]
+	} else {
+		b = nil
+	}
+	b = append(b, v) // want `append to b is not provably reuse-backed`
+	t.buf = b
+}
+
+// builtins that always allocate.
+func makes(n int) []int {
+	return make([]int, n) // want `make allocates on the hot path`
+}
+
+func news() *track {
+	return new(track) // want `new allocates on the hot path`
+}
+
+// literal forms.
+func literals() {
+	_ = []int{1, 2}    // want `slice literal allocates on the hot path`
+	_ = map[int]bool{} // want `map literal allocates on the hot path`
+	_ = &track{}       // want `&-literal escapes to the heap on the hot path`
+	var arr [2]int     // array: stack storage, legal
+	_ = arr
+}
+
+// closure allocates the captured environment.
+func closure() func() int {
+	n := 0
+	return func() int { // want `function literal allocates a closure on the hot path`
+		n++
+		return n
+	}
+}
+
+// boxing: a non-constant concrete value passed to an interface
+// parameter allocates the interface; constants box into read-only
+// statics and are legal.
+func box(v int, sink func(interface{})) {
+	sink(v) // want `argument v is boxed into an interface parameter on the hot path`
+	sink(3)
+}
+
+// concat: non-constant string concatenation allocates; constant
+// folding does not.
+func concat(a, b string) string {
+	_ = "a" + "b"
+	return a + b // want `string concatenation allocates on the hot path`
+}
+
+// conversions that copy.
+func convert(s string, b []byte) {
+	_ = []byte(s) // want `conversion to \[\]byte allocates a copy on the hot path`
+	_ = string(b) // want `conversion from \[\]byte to string allocates a copy on the hot path`
+}
+
+// panic arguments are exempt: a panicking hot path is already lost.
+func exemptPanic(i int, name string) {
+	if i < 0 {
+		panic("allocfree: bad index for " + name)
+	}
+}
+
+// setup is a declared setup-phase function: the doc annotation exempts
+// the whole body.
+//
+//arblint:alloc lazily-built table, runs once
+func setup() []int {
+	return make([]int, 8)
+}
+
+// lineExcused excuses exactly one construct with a line annotation.
+func lineExcused() []byte {
+	//arblint:alloc amortized growth: steady state reuses the buffer
+	b := make([]byte, 4)
+	return b
+}
+
+// trailingExcused puts the annotation on the construct's own line.
+func trailingExcused() map[int]int {
+	return map[int]int{} //arblint:alloc one-time index build
+}
+
+// An annotation that excuses nothing reports itself:
+func stale(dst []byte) []byte {
+	//arblint:alloc nothing allocates here // want `unused //arblint:alloc comment`
+	return append(dst, 1)
+}
+
+// The generic escape hatch works too, and reports itself when unused.
+func allowed() *track {
+	return new(track) //arblint:allow allocfree measured: escape analysis keeps this on the stack
+}
+
+//arblint:allow allocfree // want `unused //arblint:allow allocfree comment`

@@ -1,0 +1,114 @@
+// Package goroleak is golden testdata for the goroleak analyzer: a go
+// statement must be tied to a shutdown path by WaitGroup discipline or
+// by a close-signaled channel.
+package goroleak
+
+import "sync"
+
+type server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	work chan int
+}
+
+// waitGrouped: the Add dominates the go statement and the spawned
+// literal calls Done.
+func (s *server) waitGrouped() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+// spawnWorker ties a declared method the same way: the Done lives in
+// the method body.
+func (s *server) spawnWorker() {
+	s.wg.Add(1)
+	go s.worker()
+}
+
+func (s *server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case v := <-s.work:
+			_ = v
+		}
+	}
+}
+
+// closeSignaled: the goroutine selects on a channel this package
+// closes (stop's close(s.done)).
+func (s *server) closeSignaled() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case v := <-s.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func (s *server) stop() { close(s.done) }
+
+// ranged: ranging over a channel the package closes is the writer
+// loop's shape.
+func (s *server) ranged() {
+	go func() {
+		for v := range s.work {
+			_ = v
+		}
+	}()
+}
+
+func (s *server) finish() { close(s.work) }
+
+// bareReceive: a blocking receive is joining, not shutdown — even on a
+// channel the package closes, it does not tie the goroutine.
+func (s *server) bareReceive() {
+	go func() { // want `go statement is not tied to a shutdown path`
+		<-s.work
+	}()
+}
+
+// addNotDominating: an Add on one branch does not prove the pairing.
+func (s *server) addNotDominating(c bool) {
+	if c {
+		s.wg.Add(1)
+	}
+	go func() { // want `go statement is not tied to a shutdown path`
+		defer s.wg.Done()
+	}()
+}
+
+// wrongGroup: Add and Done must hit the same WaitGroup object.
+func (s *server) wrongGroup(other *sync.WaitGroup) {
+	s.wg.Add(1)
+	go func() { // want `go statement is not tied to a shutdown path`
+		defer other.Done()
+	}()
+}
+
+// untiedLoop is the canonical leak: nothing stops it.
+func (s *server) untiedLoop() {
+	go func() { // want `go statement is not tied to a shutdown path`
+		for v := range make(chan int) {
+			_ = v
+		}
+	}()
+}
+
+// allowed: the justified exception carries its reason.
+func (s *server) allowed() {
+	//arblint:allow goroleak shutdown signal is the connection close itself
+	go func() {
+		<-s.work
+	}()
+}
+
+//arblint:allow goroleak // want `unused //arblint:allow goroleak comment`

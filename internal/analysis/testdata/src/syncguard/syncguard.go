@@ -1,0 +1,140 @@
+// Package syncguard is golden testdata for the syncguard analyzer:
+// the guarded-by mutex discipline, the owned-by single-goroutine
+// discipline, and the annotation-validation diagnostics.
+package syncguard
+
+import "sync"
+
+type server struct {
+	mu    sync.Mutex
+	conns map[int]bool // guarded by mu
+	n     int          // guarded by mu
+}
+
+// locked is the legal shape: Lock gens the fact, the accesses sit
+// inside it.
+func (s *server) locked() {
+	s.mu.Lock()
+	s.conns[1] = true
+	s.n++
+	s.mu.Unlock()
+}
+
+// deferred: a deferred Unlock runs on the way out and kills nothing
+// along the body.
+func (s *server) deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// unlocked is the canonical violation.
+func (s *server) unlocked() {
+	s.conns[2] = true // want `access to s.conns \(guarded by mu\) without s.mu held`
+}
+
+// afterUnlock: the fact dies at the explicit Unlock.
+func (s *server) afterUnlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.n++ // want `access to s.n \(guarded by mu\) without s.mu held`
+}
+
+// branchJoin: a lock taken on only one arm does not survive the join.
+func (s *server) branchJoin(c bool) {
+	if c {
+		s.mu.Lock()
+	}
+	s.n++ // want `access to s.n \(guarded by mu\) without s.mu held`
+	if c {
+		s.mu.Unlock()
+	}
+}
+
+// addLocked shows the checkable *Locked convention: the doc comment
+// seeds the fact. Callers hold s.mu.
+func (s *server) addLocked(id int) {
+	s.conns[id] = true
+}
+
+// literalEscapes: a function literal may run on another goroutine, so
+// the spawner's lock fact does not transfer into it.
+func (s *server) literalEscapes() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		s.n++ // want `access to s.n \(guarded by mu\) without s.mu held`
+	}
+}
+
+// reader uses an RWMutex guard: RLock confers the fact too.
+type reader struct {
+	rw sync.RWMutex
+	m  map[string]int // guarded by rw
+}
+
+func (r *reader) get(k string) int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.m[k]
+}
+
+// loop is single-goroutine state: the owned-by discipline.
+type loop struct {
+	state int // owned by the run goroutine
+}
+
+// run is the owning root.
+func (l *loop) run() {
+	l.state++
+	l.step()
+}
+
+// step is called only from run, so it is inside the single-goroutine
+// call tree.
+func (l *loop) step() {
+	l.state++
+}
+
+// outside has no path from run.
+func (l *loop) outside() {
+	l.state++ // want `access to l.state \(owned by the run goroutine\) from outside`
+}
+
+// spawned is called from run, but only inside a go statement — that
+// call site runs on another goroutine and confers no ownership.
+func (l *loop) spawned() {
+	l.state++ // want `access to l.state \(owned by the run goroutine\) from spawned`
+}
+
+func (l *loop) fork() {
+	go l.spawned()
+}
+
+// newLoop is a constructor: it returns the owning struct, so it runs
+// before the goroutine exists.
+func newLoop() *loop {
+	l := &loop{}
+	l.state = 1
+	return l
+}
+
+// Misspelled annotations are diagnostics themselves.
+type badMutex struct {
+	lk   sync.Mutex
+	data int // guarded by mutex // want `guarded-by annotation names mutex, which is not a sync.Mutex`
+}
+
+type badOwner struct {
+	v int // owned by the ghost goroutine // want `owned-by annotation names goroutine "ghost"`
+}
+
+// The escape hatch: a justified unguarded read, and a stale allow
+// reporting itself.
+func (s *server) allowEscape() int {
+	//arblint:allow syncguard racy stats read, documented at the caller
+	return s.n
+}
+
+//arblint:allow syncguard // want `unused //arblint:allow syncguard comment`

@@ -290,14 +290,14 @@ type shard struct {
 	tally   *tally
 
 	// Loop-owned state (no locking: single goroutine).
-	sched       grant.Scheduler
-	waiters     [][]*acquireReq // per-agent FIFO; index by identity
-	nwait       int
-	leaseToken  string // "" when the resource is free
-	leaseAgent  int
-	leaseExpiry time.Time
-	tokenSeq    uint64
-	repassSeen  int64
+	sched       grant.Scheduler // owned by the loop goroutine
+	waiters     [][]*acquireReq // owned by the loop goroutine; per-agent FIFO, index by identity
+	nwait       int             // owned by the loop goroutine
+	leaseToken  string          // owned by the loop goroutine; "" when the resource is free
+	leaseAgent  int             // owned by the loop goroutine
+	leaseExpiry time.Time       // owned by the loop goroutine
+	tokenSeq    uint64          // owned by the loop goroutine
+	repassSeen  int64           // owned by the loop goroutine
 }
 
 func newShard(rc ResourceConfig, sched grant.Scheduler, epoch time.Time, extra obs.Probe) *shard {

@@ -31,9 +31,9 @@ type BinaryServer struct {
 	d *Daemon
 
 	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	ln     net.Listener          // guarded by mu
+	conns  map[net.Conn]struct{} // guarded by mu
+	closed bool                  // guarded by mu
 
 	wg sync.WaitGroup // one per live connection handler
 }

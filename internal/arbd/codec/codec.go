@@ -67,6 +67,8 @@ const (
 )
 
 // String names the type for diagnostics.
+//
+//arblint:alloc Stringer for logs and tests, never on the frame path
 func (t Type) String() string {
 	switch t {
 	case TAcquire:
@@ -349,6 +351,8 @@ type Reader struct {
 }
 
 // NewReader wraps r.
+//
+//arblint:alloc constructor: one Reader per connection, at setup
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 
 // Next reads exactly one frame into f. io.EOF at a frame boundary is
@@ -366,7 +370,7 @@ func (r *Reader) Next(f *Frame) error {
 		return ErrMalformed
 	}
 	if cap(r.buf) < payload {
-		r.buf = make([]byte, payload)
+		r.buf = make([]byte, payload) //arblint:alloc amortized growth: steady state reuses the buffer
 	}
 	r.buf = r.buf[:payload]
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
@@ -387,6 +391,8 @@ type Writer struct {
 }
 
 // NewWriter wraps w.
+//
+//arblint:alloc constructor: one Writer per connection, at setup
 func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
 
 // WriteFrame encodes f and writes it as one Write call.

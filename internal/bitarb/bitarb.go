@@ -51,6 +51,8 @@ type Vec struct {
 }
 
 // NewVec returns an empty bitmap for identities 1..n.
+//
+//arblint:alloc constructor: one bitmap per arbiter, at setup
 func NewVec(n int) *Vec {
 	if n < 1 {
 		panic(fmt.Sprintf("bitarb: Vec needs at least 1 identity, got %d", n))
@@ -176,6 +178,8 @@ type Planes struct {
 
 // NewPlanes returns a zeroed plane set for identities 1..n and numbers
 // of the given bit width (1..64).
+//
+//arblint:alloc constructor: one plane set per arbiter, at setup
 func NewPlanes(width, n int) *Planes {
 	if width < 1 || width > 64 {
 		panic(fmt.Sprintf("bitarb: plane width %d out of range 1..64", width))
@@ -282,6 +286,8 @@ type Counters struct {
 
 // NewCounters returns zeroed counters of the given bit width (1..63)
 // for identities 1..n.
+//
+//arblint:alloc constructor: one counter bank per arbiter, at setup
 func NewCounters(cbits, n int) *Counters {
 	if cbits < 1 || cbits > 63 {
 		panic(fmt.Sprintf("bitarb: counter width %d out of range 1..63", cbits))

@@ -1,0 +1,217 @@
+package clitest
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway Go module for arblint to chew
+// on: files maps slash-separated relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runInDir executes a binary with its working directory set (the run
+// helper above has no Dir knob) and returns exit code, stdout, stderr.
+func runInDir(t *testing.T, bin, dir string, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %s: %v", bin, err)
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+// dirtyModule is a module with one violation of each diagnostic kind:
+// two seedsrc findings sharing a line (pinning the column tiebreak), an
+// unused allow, an allow naming an unknown analyzer, and an allow for
+// an analyzer that never runs in the package.
+func dirtyModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"go.mod": "module lintme\n\ngo 1.22\n",
+		"a/a.go": `// Package a deliberately violates seedsrc for the CLI pin.
+package a
+
+import "math/rand"
+
+// New builds a seeded generator outside internal/rng.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+`,
+		"b/b.go": `// Package b carries deliberate annotation-hygiene violations.
+package b
+
+//arblint:allow seedsrc
+func F() int { return 1 }
+
+//arblint:allow nosuch
+func G() int { return 2 }
+
+//arblint:allow goroleak
+func H() int { return 3 }
+`,
+	})
+}
+
+// TestArblintOutputContract pins the driver's CLI surface: globally
+// position-sorted text diagnostics, byte-identical output across runs,
+// the -json line schema with kind labels, the -stats table, and the
+// exit-status convention (1 on findings, 0 on a clean tree, 2 on flag
+// misuse).
+func TestArblintOutputContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and type-checks fixture modules")
+	}
+	bins := buildCmds(t)
+	arblint := bins["arblint"]
+	mod := dirtyModule(t)
+
+	code, stdout, stderr := runInDir(t, arblint, mod, "./...")
+	if code != 1 {
+		t.Fatalf("exit code %d on a dirty module, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "arblint: 5 finding(s)") {
+		t.Errorf("stderr %q does not report the finding count", stderr)
+	}
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d diagnostic lines, want 5:\n%s", len(lines), stdout)
+	}
+	// The global sort order is file, then line, then column: both
+	// seedsrc findings (a/a.go line 8, rand.New before rand.NewSource)
+	// precede all three package-b hygiene findings in source order.
+	wants := []struct{ file, frag string }{
+		{"a/a.go", "math/rand.New constructs"},
+		{"a/a.go", "math/rand.NewSource constructs"},
+		{"b/b.go", "unused //arblint:allow seedsrc"},
+		{"b/b.go", `unknown analyzer "nosuch"`},
+		{"b/b.go", "inapplicable //arblint:allow goroleak"},
+	}
+	for i, w := range wants {
+		if !strings.Contains(lines[i], filepath.FromSlash(w.file)) || !strings.Contains(lines[i], w.frag) {
+			t.Errorf("line %d = %q, want file %s and fragment %q", i, lines[i], w.file, w.frag)
+		}
+	}
+	// file:line:col: message (analyzer) — every line carries a parsable
+	// position prefix and a trailing analyzer tag.
+	for _, line := range lines {
+		rest := line[strings.Index(line, ".go:")+len(".go:"):]
+		parts := strings.SplitN(rest, ":", 3)
+		if len(parts) != 3 || !strings.HasSuffix(line, ")") || !strings.Contains(line, " (") {
+			t.Errorf("line %q is not in file:line:col: message (analyzer) form", line)
+		}
+	}
+
+	// Byte determinism: a second run must reproduce stdout exactly.
+	code2, stdout2, _ := runInDir(t, arblint, mod, "./...")
+	if code2 != 1 || stdout2 != stdout {
+		t.Errorf("second run differed: code %d, stdout diff:\n--- first\n%s--- second\n%s", code2, stdout, stdout2)
+	}
+
+	// -json: one JSON object per line, same order, kinds distinguishing
+	// real findings from annotation hygiene.
+	code, stdout, _ = runInDir(t, arblint, mod, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("-json exit code %d, want 1", code)
+	}
+	jlines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(jlines) != 5 {
+		t.Fatalf("-json produced %d lines, want 5:\n%s", len(jlines), stdout)
+	}
+	wantKinds := []string{"finding", "finding", "unused-allow", "inapplicable-allow", "inapplicable-allow"}
+	for i, jl := range jlines {
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Kind     string `json:"kind"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(jl), &d); err != nil {
+			t.Fatalf("-json line %d is not JSON: %v\n%s", i, err, jl)
+		}
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("-json line %d has empty fields: %+v", i, d)
+		}
+		if d.Kind != wantKinds[i] {
+			t.Errorf("-json line %d kind = %q, want %q", i, d.Kind, wantKinds[i])
+		}
+	}
+	// The two seedsrc findings share a line; JSON order must still be
+	// deterministic via the column tiebreak.
+	var first, second struct{ Col int }
+	if json.Unmarshal([]byte(jlines[0]), &first) == nil && json.Unmarshal([]byte(jlines[1]), &second) == nil {
+		if first.Col >= second.Col {
+			t.Errorf("same-line findings not column-sorted: %d then %d", first.Col, second.Col)
+		}
+	}
+
+	// -stats: a per-analyzer table on stderr. seedsrc owns three of the
+	// findings (two real plus its unused allow); nothing was allowed.
+	code, _, stderr = runInDir(t, arblint, mod, "-stats", "./...")
+	if code != 1 {
+		t.Fatalf("-stats exit code %d, want 1", code)
+	}
+	var sawHeader, sawSeedsrc bool
+	for _, line := range strings.Split(stderr, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 3 && f[0] == "analyzer" && f[1] == "findings" && f[2] == "allowed" {
+			sawHeader = true
+		}
+		if len(f) == 3 && f[0] == "seedsrc" {
+			sawSeedsrc = true
+			if f[1] != "3" || f[2] != "0" {
+				t.Errorf("seedsrc stats row = %v, want findings 3 allowed 0", f)
+			}
+		}
+	}
+	if !sawHeader || !sawSeedsrc {
+		t.Errorf("-stats table missing header or seedsrc row:\n%s", stderr)
+	}
+
+	// A clean module: exit 0, no stdout.
+	clean := writeModule(t, map[string]string{
+		"go.mod": "module cleanme\n\ngo 1.22\n",
+		"ok/ok.go": `// Package ok holds nothing arblint objects to.
+package ok
+
+// Sum is allocation- and randomness-free.
+func Sum(a, b int) int { return a + b }
+`,
+	})
+	code, stdout, stderr = runInDir(t, arblint, clean, "./...")
+	if code != 0 || stdout != "" {
+		t.Errorf("clean module: exit %d stdout %q stderr %q, want silent success", code, stdout, stderr)
+	}
+
+	// Flag misuse keeps the flag package's exit-2 convention.
+	code, _, stderr = runInDir(t, arblint, mod, "-nosuchflag")
+	if code != 2 || !strings.Contains(stderr, "flag provided but not defined") {
+		t.Errorf("flag misuse: exit %d stderr %q, want 2 and the flag error", code, stderr)
+	}
+}

@@ -32,7 +32,7 @@ func buildCmds(t *testing.T) map[string]string {
 		t.Fatalf("building CLIs: %v\n%s", err, out)
 	}
 	bins := map[string]string{}
-	for _, name := range []string{"paper", "arbsim", "arbtrace", "arbverify", "benchjson", "arbd", "arbload"} {
+	for _, name := range []string{"paper", "arbsim", "arbtrace", "arbverify", "benchjson", "arbd", "arbload", "arblint"} {
 		bins[name] = filepath.Join(dir, name)
 	}
 	return bins

@@ -138,7 +138,7 @@ func (b *base) resolveOracle(eligible func(id int) bool, encode func(id int) uin
 		// Agent identities drive the bank directly, so it needs n+1
 		// driver slots (identity 0 is reserved, §2.1).
 		b.arb = contention.New(b.layout.TotalBits(), b.n+1)
-		b.comps = make([]contention.Competitor, 0, b.n)
+		b.comps = make([]contention.Competitor, 0, b.n) //arblint:alloc lazy oracle setup, first resolve only
 	}
 	comps := b.comps[:0]
 	for id := 1; id <= b.n; id++ {
@@ -178,7 +178,7 @@ func (s *FP) Enqueue(agent int) bool { return s.enqueue(agent) }
 // identity is the highest set bit of the request bitmap.
 func (s *FP) Resolve() int {
 	if s.oracle {
-		return s.resolveOracle(nil, func(id int) uint64 {
+		return s.resolveOracle(nil, func(id int) uint64 { //arblint:alloc oracle mode; the kernel path is closure-free
 			return s.layout.Encode(ident.Number{Static: id})
 		})
 	}
@@ -226,7 +226,7 @@ func (s *RR1) Enqueue(agent int) bool { return s.enqueue(agent) }
 // back to the plain maximum when that segment is empty.
 func (s *RR1) Resolve() int {
 	if s.oracle {
-		w := s.resolveOracle(nil, func(id int) uint64 {
+		w := s.resolveOracle(nil, func(id int) uint64 { //arblint:alloc oracle mode; the kernel path is closure-free
 			return s.layout.Encode(ident.Number{Static: id, RR: id < s.lastWinner})
 		})
 		if w != 0 {
@@ -291,16 +291,16 @@ func (s *RR3) Resolve() int {
 		return 0
 	}
 	if s.oracle {
-		encode := func(id int) uint64 {
+		encode := func(id int) uint64 { //arblint:alloc oracle mode; the kernel path is closure-free
 			return s.layout.Encode(ident.Number{Static: id})
 		}
-		w := s.resolveOracle(func(id int) bool { return id < s.lastWinner }, encode)
+		w := s.resolveOracle(func(id int) bool { return id < s.lastWinner }, encode) //arblint:alloc oracle mode; the kernel path is closure-free
 		if w == 0 {
 			// Empty pass: every agent records N+1, a fresh uninhibited
 			// arbitration follows at once (§3.1).
 			s.lastWinner = s.n + 1
 			s.repasses++
-			w = s.resolveOracle(func(id int) bool { return id < s.lastWinner }, encode)
+			w = s.resolveOracle(func(id int) bool { return id < s.lastWinner }, encode) //arblint:alloc oracle mode; the kernel path is closure-free
 		}
 		s.lastWinner = w
 		return w
@@ -365,7 +365,7 @@ func (s *FCFS1) Enqueue(agent int) bool {
 func (s *FCFS1) Resolve() int {
 	var w int
 	if s.oracle {
-		w = s.resolveOracle(nil, func(id int) uint64 {
+		w = s.resolveOracle(nil, func(id int) uint64 { //arblint:alloc oracle mode; the kernel path is closure-free
 			return s.layout.Encode(ident.Number{Static: id, Counter: s.ctr.Get(id)})
 		})
 		if w == 0 {
@@ -443,7 +443,7 @@ func (s *FCFS2) Enqueue(agent int) bool {
 // tournament as FCFS1; the counters only move on arrivals.
 func (s *FCFS2) Resolve() int {
 	if s.oracle {
-		return s.resolveOracle(nil, func(id int) uint64 {
+		return s.resolveOracle(nil, func(id int) uint64 { //arblint:alloc oracle mode; the kernel path is closure-free
 			return s.layout.Encode(ident.Number{Static: id, Counter: s.ctr.Get(id)})
 		})
 	}

@@ -21,7 +21,7 @@ func Synchronized(p Probe) *SynchronizedProbe {
 // hook for reading the wrapped consumer's state under the same mutex.
 type SynchronizedProbe struct {
 	mu sync.Mutex
-	p  Probe
+	p  Probe // guarded by mu
 }
 
 // OnEvent implements Probe: it forwards under the lock.
