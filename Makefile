@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-stats test race bench bench-json bench-gate check fuzz paper examples examples-smoke trace-demo clean
+.PHONY: all build vet lint lint-stats test race bench bench-json bench-gate check cluster-smoke fuzz paper examples examples-smoke trace-demo clean
 
 all: build vet test
 
@@ -39,8 +39,15 @@ race:
 # The full gate: what CI (and a careful PR author) runs. gofmt -l
 # prints nothing when the tree is clean; grep flips that into an exit
 # status.
-check: vet build lint race examples-smoke
+check: vet build lint race cluster-smoke examples-smoke
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed:"; echo "$$fmt_out"; exit 1; fi
+
+# Three in-process arbd nodes under the race detector: a fresh binary
+# (not the cached `race` run) exercising ring ownership, cross-node
+# forwarding, and relay correlation end to end. -count=1 forces the
+# run even when the race tier already cached the package.
+cluster-smoke:
+	$(GO) test -race -run 'TestClusterSmoke|TestForwardingEquivalence|TestRoutedFlagOnWire' -count=1 ./internal/arbd/cluster/
 
 # Regenerate the sample event trace committed under docs/: a small
 # fixed-seed RR1 run through the -trace JSONL exporter.
@@ -80,6 +87,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzKernelMatchesSettle -fuzztime=$(FUZZTIME) ./internal/contention/
 	$(GO) test -fuzz=FuzzReadJSONL -fuzztime=$(FUZZTIME) ./internal/obs/
 	$(GO) test -fuzz=FuzzCodecRoundTrip -fuzztime=$(FUZZTIME) ./internal/arbd/codec/
+	$(GO) test -fuzz=FuzzRingStability -fuzztime=$(FUZZTIME) ./internal/arbd/cluster/
 
 # Full-effort reproduction of the paper's evaluation section.
 paper:

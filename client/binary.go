@@ -19,6 +19,13 @@ import (
 type binaryTransport struct {
 	addr        string
 	dialTimeout time.Duration
+	retry       *retryPolicy
+	// onOwnerHint, when set (DialCluster), receives the owner hints a
+	// cluster node attaches to relayed responses (docs/WIRE.md routed
+	// frames): this resource's owner listens at addr. Called from the
+	// read loop without t.mu held; set before the first read loop
+	// starts and immutable after.
+	onOwnerHint func(resource, addr string)
 
 	mu      sync.Mutex
 	conn    net.Conn                // guarded by mu; nil between teardown and redial
@@ -34,10 +41,12 @@ type outcome struct {
 	err   error
 }
 
-func newBinaryTransport(addr string, dialTimeout time.Duration) (*binaryTransport, error) {
+func newBinaryTransport(addr string, o options, onOwnerHint func(resource, addr string)) (*binaryTransport, error) {
 	t := &binaryTransport{
 		addr:        addr,
-		dialTimeout: dialTimeout,
+		dialTimeout: o.dialTimeout,
+		retry:       newRetryPolicy(o),
+		onOwnerHint: onOwnerHint,
 		pending:     make(map[uint64]chan outcome),
 	}
 	t.mu.Lock()
@@ -59,7 +68,9 @@ func (t *binaryTransport) ensureConnLocked() error {
 	}
 	conn, err := net.DialTimeout("tcp", t.addr, t.dialTimeout)
 	if err != nil {
-		return fmt.Errorf("client: dial %s: %w", t.addr, err)
+		// Transient: nothing reached the wire, so the retry policy may
+		// redial.
+		return &transientError{fmt.Errorf("client: dial %s: %w", t.addr, err)}
 	}
 	t.conn = conn
 	t.w = codec.NewWriter(conn)
@@ -90,8 +101,10 @@ func (t *binaryTransport) readLoop(conn net.Conn) {
 				Token:    string(f.Token),
 				TTL:      time.Duration(f.TTLNS),
 			}
+			t.noteOwnerHint(&f)
 		case codec.TReleased:
 			// success, zero outcome
+			t.noteOwnerHint(&f)
 		case codec.TError:
 			out.err = &Error{Code: int(f.Code), Msg: string(f.Msg)}
 		default:
@@ -148,9 +161,10 @@ func (t *binaryTransport) call(ctx context.Context, f *codec.Frame) (Lease, erro
 	t.mu.Unlock()
 	if err != nil {
 		// The reader's teardown will (or already did) fail ch; prefer
-		// the write error for this caller.
+		// the write error for this caller. Transient: a failed write
+		// never reached the daemon, so retrying cannot double-acquire.
 		t.forget(corr)
-		return Lease{}, fmt.Errorf("client: write to %s: %w", t.addr, err)
+		return Lease{}, &transientError{fmt.Errorf("client: write to %s: %w", t.addr, err)}
 	}
 	select {
 	case out := <-ch:
@@ -166,6 +180,17 @@ func (t *binaryTransport) forget(corr uint64) {
 	t.mu.Lock()
 	delete(t.pending, corr)
 	t.mu.Unlock()
+}
+
+// noteOwnerHint surfaces a routed response's owner hint to the
+// cluster transport, if one is listening.
+func (t *binaryTransport) noteOwnerHint(f *codec.Frame) {
+	if t.onOwnerHint == nil || f.Flags&codec.FlagRouted == 0 {
+		return
+	}
+	if _, _, addr, ok := codec.ParseOwnerRoute(f.Route); ok && len(addr) > 0 {
+		t.onOwnerHint(string(f.Resource), string(addr))
+	}
 }
 
 func (t *binaryTransport) acquire(ctx context.Context, resource string, agent int, opts AcquireOptions) (Lease, error) {
@@ -187,7 +212,7 @@ func (t *binaryTransport) acquire(ctx context.Context, resource string, agent in
 		TTLNS:     int64(opts.TTL),
 		Resource:  []byte(resource),
 	}
-	return t.call(ctx, &f)
+	return t.retry.run(ctx, func() (Lease, error) { return t.call(ctx, &f) })
 }
 
 func (t *binaryTransport) release(ctx context.Context, resource, token string) error {
@@ -196,7 +221,7 @@ func (t *binaryTransport) release(ctx context.Context, resource, token string) e
 		Resource: []byte(resource),
 		Token:    []byte(token),
 	}
-	_, err := t.call(ctx, &f)
+	_, err := t.retry.run(ctx, func() (Lease, error) { return t.call(ctx, &f) })
 	return err
 }
 

@@ -32,6 +32,15 @@
 // Every server-reported failure is an *Error carrying the daemon's
 // numeric code and message, so the non-sentinel cases (400 bad
 // request, 404 unknown resource or lease) stay inspectable.
+//
+// Against a multi-node arbd cluster, DialCluster takes the full
+// member list, learns which node owns which resource (eagerly from
+// /clusterz, or lazily from the owner hints on routed responses) and
+// sends each call directly to its owner, falling back to any member —
+// whose forwarding layer still lands the frame — when the owner is
+// unreachable. Transient connection failures on the binary transport
+// retry with jittered exponential backoff before surfacing
+// ErrRetriesExhausted; see WithRetries and WithRetryBackoff.
 package client
 
 import (
@@ -129,7 +138,28 @@ type Client struct {
 type Option func(*options)
 
 type options struct {
-	dialTimeout time.Duration
+	dialTimeout     time.Duration
+	retryAttempts   int
+	retryBase       time.Duration
+	retryJitterSeed uint64
+	seedSet         bool
+}
+
+func defaultOptions() options {
+	return options{
+		dialTimeout:   10 * time.Second,
+		retryAttempts: 3,
+		retryBase:     50 * time.Millisecond,
+	}
+}
+
+// resolve finalizes the options after every Option ran: clients that
+// did not pin a jitter seed get a per-client one off a process
+// counter, so a fleet created together still spreads its redials.
+func (o *options) resolve() {
+	if !o.seedSet {
+		o.retryJitterSeed = nextRetrySeed()
+	}
 }
 
 // WithDialTimeout bounds the binary transport's connection attempts
@@ -137,6 +167,37 @@ type options struct {
 // default is 10 seconds. The HTTP transport ignores it.
 func WithDialTimeout(d time.Duration) Option {
 	return func(o *options) { o.dialTimeout = d }
+}
+
+// WithRetries bounds the binary transport's retry of transient
+// connection failures (refused redial, connection torn before the
+// request was written): up to n attempts in total per call, with
+// jittered exponential backoff between them. n <= 1 disables
+// retrying; the default is 3 attempts. When the budget runs out the
+// call fails with an error matching ErrRetriesExhausted that wraps
+// the last underlying failure. The HTTP transport ignores it.
+func WithRetries(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			n = 1
+		}
+		o.retryAttempts = n
+	}
+}
+
+// WithRetryBackoff sets the base backoff before the first retry
+// (doubled each further attempt, jittered over [1/2, 3/2) of itself).
+// The default is 50ms.
+func WithRetryBackoff(base time.Duration) Option {
+	return func(o *options) { o.retryBase = base }
+}
+
+// WithRetryJitterSeed pins the backoff jitter's random stream
+// (busarb/internal/rng), making the retry schedule reproducible.
+// Tests use it; production clients normally let each client draw its
+// own seed.
+func WithRetryJitterSeed(seed uint64) Option {
+	return func(o *options) { o.retryJitterSeed = seed; o.seedSet = true }
 }
 
 // Dial connects to the daemon named by target and returns a Client on
@@ -148,15 +209,16 @@ func WithDialTimeout(d time.Duration) Option {
 // The binary transport connects eagerly, so an unreachable daemon
 // fails here rather than on the first Acquire.
 func Dial(target string, opts ...Option) (*Client, error) {
-	o := options{dialTimeout: 10 * time.Second}
+	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
 	}
+	o.resolve()
 	switch {
 	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
 		return &Client{t: newHTTPTransport(target)}, nil
 	case strings.HasPrefix(target, "tcp://"):
-		t, err := newBinaryTransport(strings.TrimPrefix(target, "tcp://"), o.dialTimeout)
+		t, err := newBinaryTransport(strings.TrimPrefix(target, "tcp://"), o, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,18 @@
 //	arbd -addr 127.0.0.1:0 -resources bus:8:FP   # free port, printed
 //	arbd -addr :8321 -baddr :8322                # HTTP and binary
 //
+// -cluster turns the process into one member of an arbd cluster
+// (internal/arbd/cluster): the flag lists every member as
+// name=tcp://host:port pairs, -self names this one, and the
+// consistent-hash ring decides which of the -resources this node
+// actually runs — frames for the rest are forwarded to their owners
+// over the binary protocol. Every member must be started with the
+// same -cluster, -resources and -cluster-seed. The binary listener is
+// mandatory in cluster mode (it is the inter-node transport) and
+// defaults to the self member's address:
+//
+//	arbd -cluster "a=tcp://h1:8322,b=tcp://h2:8322" -self a -resources "bus:10:RR1,disk:4:FCFS2"
+//
 // The daemon prints "arbd: listening on HOST:PORT" once HTTP is
 // accepting connections ("arbd: binary listening on HOST:PORT" for
 // -baddr) and exits 0 on SIGINT/SIGTERM after answering every queued
@@ -32,8 +44,30 @@ import (
 	"time"
 
 	"busarb/internal/arbd"
+	"busarb/internal/arbd/cluster"
 	"busarb/internal/topo"
 )
+
+// parseCluster parses the -cluster spec: comma-separated
+// name=tcp://host:port pairs, one per member.
+func parseCluster(spec string) ([]cluster.Member, error) {
+	var out []cluster.Member
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("arbd: bad cluster member %q, want name=addr", part)
+		}
+		out = append(out, cluster.Member{Name: name, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("arbd: -cluster spec %q names no members", spec)
+	}
+	return out, nil
+}
 
 // parseResources parses the -resources spec: a comma-separated list of
 // name:agents:protocol triples sharing the flag-level timing knobs.
@@ -90,12 +124,20 @@ func main() {
 	ttl := flag.Duration("ttl", 0, "maximum lease lifetime (0: 30s default)")
 	queue := flag.Int("queue", 0, "max queued waiters per resource (0: 1024 default)")
 	window := flag.Float64("metrics-window", 0, "/metricz wait-quantile window in seconds (0: 5s default)")
+	clusterSpec := flag.String("cluster", "",
+		"cluster membership: comma-separated name=tcp://host:port pairs, identical on every member (empty: standalone)")
+	self := flag.String("self", "self", "this node's member name in -cluster")
+	clusterSeed := flag.Uint64("cluster-seed", 0, "consistent-hash ring seed; must match on every member")
 	flag.Parse()
 
 	rcs, err := parseResources(*resources, *tick, *ttl, *queue, *window)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *clusterSpec != "" {
+		runCluster(rcs, *clusterSpec, *self, *clusterSeed, *addr, *baddr)
+		return
 	}
 	d, err := arbd.New(arbd.Config{Resources: rcs})
 	if err != nil {
@@ -163,4 +205,79 @@ func main() {
 		bsrv.Close()
 	}
 	d.Close()
+}
+
+// runCluster is the -cluster serving path: one cluster.Node wrapping
+// the local shards, with the binary listener doubling as the
+// inter-node transport and the HTTP listener serving the node's
+// /clusterz- and /metricz-augmented surface.
+func runCluster(rcs []arbd.ResourceConfig, spec, self string, seed uint64, addr, baddr string) {
+	members, err := parseCluster(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	node, err := cluster.New(cluster.Config{
+		Self:      self,
+		Members:   members,
+		Resources: rcs,
+		Seed:      seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbd:", err)
+		os.Exit(1)
+	}
+	if baddr == "" {
+		// The self member's advertised address is where peers will dial;
+		// listening there is the sane default. -baddr still overrides for
+		// hosts that must bind a different interface than they advertise.
+		baddr = strings.TrimPrefix(node.Self().Addr, "tcp://")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		node.Close()
+		fmt.Fprintln(os.Stderr, "arbd:", err)
+		os.Exit(1)
+	}
+	bln, err := net.Listen("tcp", baddr)
+	if err != nil {
+		ln.Close()
+		node.Close()
+		fmt.Fprintln(os.Stderr, "arbd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("arbd: listening on %s\n", ln.Addr())
+	fmt.Printf("arbd: binary listening on %s\n", bln.Addr())
+	owned := 0
+	for _, rc := range rcs {
+		if node.Owns(rc.Name) {
+			owned++
+		}
+	}
+	fmt.Printf("arbd: cluster member %q of %d; ring assigns this node %d/%d resources\n",
+		self, len(members), owned, len(rcs))
+
+	srv := &http.Server{Handler: node.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	go func() {
+		if err := node.Serve(bln); err != nil && err != arbd.ErrServerClosed {
+			serveErr <- err
+		}
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("arbd: %s, shutting down\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "arbd:", err)
+		node.Close()
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	node.Close()
 }

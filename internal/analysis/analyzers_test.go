@@ -58,10 +58,14 @@ func TestAnalyzerScope(t *testing.T) {
 		{analysis.Determinism, "busarb/internal/bitarb", true},
 		{analysis.Determinism, "busarb/internal/arbd", false},
 		{analysis.Determinism, "busarb/internal/arbd/codec", true},
+		{analysis.Determinism, "busarb/internal/arbd/cluster", true},
 		{analysis.Determinism, "busarb/internal/topo", true},
 		{analysis.NilProbe, "busarb/internal/topo", true},
 		{analysis.NilProbe, "busarb/internal/grant", true},
 		{analysis.NilProbe, "busarb/internal/arbd/codec", true},
+		// The cluster package rides simPackagePaths into nilprobe scope
+		// too; it emits no probes, so the bind is vacuous but harmless.
+		{analysis.NilProbe, "busarb/internal/arbd/cluster", true},
 		{analysis.NilProbe, "busarb/internal/bitarb", true},
 		{analysis.NilProbe, "busarb/internal/arbd", false},
 		{analysis.NilProbe, "busarb/internal/cyclesim", true},
@@ -76,6 +80,7 @@ func TestAnalyzerScope(t *testing.T) {
 		{analysis.AllocFree, "busarb/internal/arbd", false},
 		{analysis.AllocFree, "busarb/internal/sim", false},
 		{analysis.GoroLeak, "busarb/internal/arbd", true},
+		{analysis.GoroLeak, "busarb/internal/arbd/cluster", true},
 		{analysis.GoroLeak, "busarb/client", true},
 		{analysis.GoroLeak, "busarb/internal/arbd/codec", false},
 		{analysis.GoroLeak, "busarb/internal/sim", false},

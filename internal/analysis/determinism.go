@@ -37,6 +37,11 @@ var simPackagePaths = []string{
 	// kernels. (Its parent internal/arbd stays excluded; the suffix
 	// match binds the codec package alone.)
 	"internal/arbd/codec",
+	// The cluster layer's ring must place resources identically on
+	// every node with no coordination — nondeterministic placement is
+	// split-brain. The wall-clock forward-latency metric carries the
+	// package's one //arblint:allow determinism.
+	"internal/arbd/cluster",
 }
 
 func isSimPackage(path string) bool {

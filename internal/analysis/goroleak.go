@@ -28,9 +28,9 @@ import (
 // (busarb/client's readLoop, whose shutdown signal is the connection
 // close itself, carries the one legitimate example).
 //
-// The analyzer binds in internal/arbd and the public client package —
-// the long-lived processes. Simulators are synchronous by design and
-// out of scope.
+// The analyzer binds in internal/arbd, its cluster layer, and the
+// public client package — the long-lived processes. Simulators are
+// synchronous by design and out of scope.
 var GoroLeak = &Analyzer{
 	Name: "goroleak",
 	Doc: "every go statement in the daemon and client must be tied to a shutdown " +
@@ -41,7 +41,9 @@ var GoroLeak = &Analyzer{
 }
 
 func goroLeakApplies(pkgPath string) bool {
-	return pathHasSuffix(pkgPath, "internal/arbd") || pathHasSuffix(pkgPath, "client")
+	return pathHasSuffix(pkgPath, "internal/arbd") ||
+		pathHasSuffix(pkgPath, "internal/arbd/cluster") ||
+		pathHasSuffix(pkgPath, "client")
 }
 
 func runGoroLeak(pass *Pass) error {

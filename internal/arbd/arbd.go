@@ -93,8 +93,15 @@ func (rc ResourceConfig) withDefaults() ResourceConfig {
 
 // Config describes a daemon.
 type Config struct {
-	// Resources lists the arbitrated resources (at least one).
+	// Resources lists the arbitrated resources (at least one, unless
+	// AllowNoResources).
 	Resources []ResourceConfig
+	// AllowNoResources permits an empty Resources list. A standalone
+	// daemon with nothing to arbitrate is a misconfiguration, but a
+	// cluster node can legitimately own zero resources (the ring
+	// placed them all elsewhere) while still forwarding for its
+	// peers.
+	AllowNoResources bool
 	// Observer, if non-nil, additionally receives every shard's events
 	// (already serialized through the shard's Synchronized probe).
 	// Event times are seconds since the daemon started.
@@ -103,7 +110,7 @@ type Config struct {
 
 // Validate checks the configuration; New returns exactly these errors.
 func (cfg Config) Validate() error {
-	if len(cfg.Resources) == 0 {
+	if len(cfg.Resources) == 0 && !cfg.AllowNoResources {
 		return fmt.Errorf("arbd: at least one resource required")
 	}
 	seen := make(map[string]bool, len(cfg.Resources))

@@ -29,6 +29,10 @@ import (
 // shard's 408 path.
 type BinaryServer struct {
 	d *Daemon
+	// router, when non-nil, makes this a cluster node: frames for
+	// resources it does not own are proxied to the owner instead of
+	// hitting the local daemon. See Router.
+	router Router
 
 	mu     sync.Mutex
 	ln     net.Listener          // guarded by mu
@@ -46,6 +50,14 @@ var ErrServerClosed = errors.New("arbd: binary server closed")
 // stops it.
 func NewBinaryServer(d *Daemon) *BinaryServer {
 	return &BinaryServer{d: d, conns: make(map[net.Conn]struct{})}
+}
+
+// NewRoutedBinaryServer returns a cluster-aware server: frames for
+// resources r does not own are forwarded through r to their owner and
+// the answer relayed back under FlagRouted. Frames r owns behave
+// exactly as on a standalone server.
+func NewRoutedBinaryServer(d *Daemon, r Router) *BinaryServer {
+	return &BinaryServer{d: d, router: r, conns: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts connections on ln until Close, blocking like
@@ -118,8 +130,10 @@ func (s *BinaryServer) dropConn(conn net.Conn) {
 // fields, queued for the connection's writer goroutine.
 type response struct {
 	frame codec.Frame
-	// token and msg own the bytes frame's fields alias.
-	resource, token, msg string
+	// resource, token, msg and route own the bytes frame's fields
+	// alias. route is encoded only when frame.Flags carries
+	// FlagRouted.
+	resource, token, msg, route string
 }
 
 // serveConn runs one connection: reader here, writer and per-acquire
@@ -150,6 +164,7 @@ func (s *BinaryServer) serveConn(conn net.Conn) {
 			r.frame.Resource = []byte(r.resource)
 			r.frame.Token = []byte(r.token)
 			r.frame.Msg = []byte(r.msg)
+			r.frame.Route = []byte(r.route)
 			if err := w.WriteFrame(&r.frame); err != nil {
 				broken = true
 			}
@@ -183,6 +198,20 @@ func (s *BinaryServer) serveConn(conn net.Conn) {
 				agent:    int(int32(f.Agent)),
 				timeout:  time.Duration(f.TimeoutNS),
 				ttl:      time.Duration(f.TTLNS),
+				route:    string(f.Route),
+				routed:   f.Flags&codec.FlagRouted != 0,
+			}
+			if s.router != nil && !s.router.Owns(req.resource) {
+				s.forward(ctx, &acquires, responses, codec.TAcquire, ForwardFrame{
+					Resource: req.resource,
+					Agent:    req.agent,
+					Timeout:  req.timeout,
+					TTL:      req.ttl,
+					Corr:     req.corr,
+					Route:    []byte(req.route),
+					Routed:   req.routed,
+				})
+				continue
 			}
 			acquires.Add(1)
 			go func() {
@@ -190,18 +219,33 @@ func (s *BinaryServer) serveConn(conn net.Conn) {
 				s.handleAcquire(ctx, responses, req)
 			}()
 		case codec.TRelease:
+			corr := f.Corr
+			resource := string(f.Resource)
+			if s.router != nil && !s.router.Owns(resource) {
+				// A forwarded release blocks on the owner, so unlike the
+				// local path it runs in its own goroutine (joining the
+				// acquires group): release→response ordering is per-node,
+				// not preserved across a hop.
+				s.forward(ctx, &acquires, responses, codec.TRelease, ForwardFrame{
+					Resource: resource,
+					Token:    string(f.Token),
+					Corr:     corr,
+					Route:    []byte(f.Route),
+					Routed:   f.Flags&codec.FlagRouted != 0,
+				})
+				continue
+			}
 			// Releases resolve against the shard loop without blocking
 			// on a grant, so they are answered inline, preserving
 			// release→response ordering on the connection.
-			corr := f.Corr
-			resource := string(f.Resource)
+			routed, route := f.Flags&codec.FlagRouted != 0, string(f.Route)
 			if serr := s.d.Release(resource, string(f.Token)); serr != nil {
-				s.enqueue(responses, errResponse(corr, serr))
+				s.enqueue(responses, stampRoute(errResponse(corr, serr), routed, route))
 			} else {
-				s.enqueue(responses, response{
+				s.enqueue(responses, stampRoute(response{
 					frame:    codec.Frame{Type: codec.TReleased, Corr: corr},
 					resource: resource,
-				})
+				}, routed, route))
 			}
 		default:
 			s.enqueue(responses, response{
@@ -218,23 +262,27 @@ func (s *BinaryServer) serveConn(conn net.Conn) {
 	<-writerDone
 }
 
-// acquireArgs is one decoded acquire with owned fields.
+// acquireArgs is one decoded acquire with owned fields. route/routed
+// carry the incoming route field so owner-side responses to forwarded
+// frames echo it back under FlagRouted.
 type acquireArgs struct {
 	corr     uint64
 	resource string
 	agent    int
 	timeout  time.Duration
 	ttl      time.Duration
+	route    string
+	routed   bool
 }
 
 // handleAcquire blocks on the shard and queues the response.
 func (s *BinaryServer) handleAcquire(ctx context.Context, responses chan<- response, req acquireArgs) {
 	lease, serr := s.d.Acquire(ctx, req.resource, req.agent, req.timeout, req.ttl)
 	if serr != nil {
-		s.enqueue(responses, errResponse(req.corr, serr))
+		s.enqueue(responses, stampRoute(errResponse(req.corr, serr), req.routed, req.route))
 		return
 	}
-	s.enqueue(responses, response{
+	s.enqueue(responses, stampRoute(response{
 		frame: codec.Frame{
 			Type:  codec.TGrant,
 			Corr:  req.corr,
@@ -243,7 +291,50 @@ func (s *BinaryServer) handleAcquire(ctx context.Context, responses chan<- respo
 		},
 		resource: lease.Resource,
 		token:    lease.Token,
-	})
+	}, req.routed, req.route))
+}
+
+// forward hands a non-owned frame to the router in its own goroutine
+// (joining the connection's acquires group — Close semantics are
+// identical to a blocked local acquire) and queues the router's
+// terminal reply, always under FlagRouted with the router's owner
+// hint in the route field.
+func (s *BinaryServer) forward(ctx context.Context, acquires *sync.WaitGroup, responses chan<- response, t codec.Type, ff ForwardFrame) {
+	acquires.Add(1)
+	go func() {
+		defer acquires.Done()
+		var rep ForwardReply
+		if t == codec.TAcquire {
+			rep = s.router.ForwardAcquire(ctx, ff)
+		} else {
+			rep = s.router.ForwardRelease(ctx, ff)
+		}
+		s.enqueue(responses, response{
+			frame: codec.Frame{
+				Type:  rep.Type,
+				Flags: codec.FlagRouted,
+				Corr:  ff.Corr,
+				Agent: uint32(rep.Agent),
+				TTLNS: int64(rep.TTL),
+				Code:  uint16(rep.Code),
+			},
+			resource: rep.Resource,
+			token:    rep.Token,
+			msg:      rep.Msg,
+			route:    string(rep.Route),
+		})
+	}()
+}
+
+// stampRoute marks a response as the answer to a routed frame,
+// echoing the request's route field; unrouted responses pass through
+// unchanged.
+func stampRoute(r response, routed bool, route string) response {
+	if routed {
+		r.frame.Flags |= codec.FlagRouted
+		r.route = route
+	}
+	return r
 }
 
 // errResponse maps a statusError onto a wire error frame.

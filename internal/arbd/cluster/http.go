@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"busarb/internal/arbd"
+)
+
+// Handler returns the node's HTTP surface: the local daemon's
+// endpoints (docs/WIRE.md's JSON transport) plus the cluster layer.
+//
+//	GET /clusterz
+//	    The topology: self, ring parameters, every member, and the
+//	    resource → owner map. client.DialCluster bootstraps from it;
+//	    operators diff it across members to audit ring agreement.
+//	GET /metricz
+//	    The daemon document plus a "cluster" section with forward
+//	    count/latency (see ForwardMetrics).
+//	POST /v1/acquire, /v1/release
+//	    Served locally when this node owns the resource; answered with
+//	    a 421 "misdirected" envelope naming the owner otherwise. HTTP
+//	    gets a redirect-style answer instead of the binary transport's
+//	    transparent forwarding: an HTTP client that cares about
+//	    placement should follow the envelope, and one that doesn't
+//	    should use the binary transport.
+func (n *Node) Handler() http.Handler {
+	inner := n.daemon.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /clusterz", n.handleClusterz)
+	mux.HandleFunc("GET /metricz", n.handleMetricz)
+	guard := func(w http.ResponseWriter, r *http.Request) {
+		resource := r.FormValue("resource")
+		if resource != "" && !n.Owns(resource) {
+			owner, _ := n.Owner(resource)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusMisdirectedRequest)
+			json.NewEncoder(w).Encode(struct {
+				Code  string `json:"code"`
+				Error string `json:"error"`
+				Owner Member `json:"owner"`
+			}{
+				Code:  "misdirected",
+				Error: fmt.Sprintf("cluster: resource %q is served by %s at %s", resource, owner.Name, owner.Addr),
+				Owner: owner,
+			})
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}
+	mux.HandleFunc("POST /v1/acquire", guard)
+	mux.HandleFunc("POST /v1/release", guard)
+	mux.Handle("/", inner)
+	return mux
+}
+
+// Clusterz is the /clusterz document.
+type Clusterz struct {
+	Self   string `json:"self"`
+	Seed   uint64 `json:"seed"`
+	VNodes int    `json:"vnodes"`
+	// Members lists every member in ring (name-sorted) order.
+	Members []Member `json:"members"`
+	// Owners maps each configured resource to its owning member name.
+	Owners map[string]string `json:"owners"`
+}
+
+// Clusterz builds the topology document Handler serves.
+func (n *Node) Clusterz() Clusterz {
+	cz := Clusterz{
+		Self:   n.cfg.Self,
+		Seed:   n.ring.Seed(),
+		VNodes: n.ring.VNodes(),
+		Owners: make(map[string]string, len(n.resources)),
+	}
+	for _, name := range n.ring.Members() {
+		for _, m := range n.cfg.Members {
+			if m.Name == name {
+				cz.Members = append(cz.Members, m)
+			}
+		}
+	}
+	for _, res := range n.resources {
+		cz.Owners[res] = n.owners[res]
+	}
+	return cz
+}
+
+func (n *Node) handleClusterz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(n.Clusterz())
+}
+
+// clusterMetricz is the cluster node's /metricz document: the
+// daemon's fields plus the cluster section.
+type clusterMetricz struct {
+	UptimeSeconds float64                         `json:"uptime_s"`
+	Resources     map[string]arbd.ResourceMetrics `json:"resources"`
+	Cluster       clusterSection                  `json:"cluster"`
+}
+
+type clusterSection struct {
+	Self           string         `json:"self"`
+	Members        int            `json:"members"`
+	OwnedResources int            `json:"owned_resources"`
+	Forward        ForwardMetrics `json:"forward"`
+}
+
+func (n *Node) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	owned := 0
+	for _, res := range n.resources {
+		if n.owners[res] == n.cfg.Self {
+			owned++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(clusterMetricz{
+		UptimeSeconds: n.daemon.Uptime().Seconds(),
+		Resources:     n.daemon.Metrics(),
+		Cluster: clusterSection{
+			Self:           n.cfg.Self,
+			Members:        len(n.cfg.Members),
+			OwnedResources: owned,
+			Forward:        n.fwd.snapshot(),
+		},
+	})
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// forwardStats tallies the node's forwarding work for /metricz: how
+// many frames were proxied, how many came back (or failed) as errors,
+// and the recent forward latency distribution. Latencies live in a
+// fixed ring of the last latWindow samples — quantiles over recent
+// traffic, constant memory.
+type forwardStats struct {
+	mu     sync.Mutex
+	count  int64           // guarded by mu; frames that crossed the wire
+	local  int64           // guarded by mu; shed before the wire (queue full, hop limit, bad route)
+	errors int64           // guarded by mu; forwards answered TError
+	lat    []time.Duration // guarded by mu; ring buffer of wire-crossing latencies
+	next   int             // guarded by mu; ring write cursor
+}
+
+// latWindow is the latency ring size: big enough for stable p90s,
+// small enough to sort on every scrape.
+const latWindow = 1024
+
+// record tallies one forward. wire reports whether the frame actually
+// reached a peer (local sheds are counted separately and contribute
+// no latency sample).
+func (s *forwardStats) record(d time.Duration, isErr, wire bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !wire {
+		s.local++
+		if isErr {
+			s.errors++
+		}
+		return
+	}
+	s.count++
+	if isErr {
+		s.errors++
+	}
+	if len(s.lat) < latWindow {
+		s.lat = append(s.lat, d)
+		return
+	}
+	s.lat[s.next] = d
+	s.next = (s.next + 1) % latWindow
+}
+
+// ForwardMetrics is the cluster section's forwarding entry in
+// /metricz.
+type ForwardMetrics struct {
+	// Forwards counts frames proxied to a peer; Shed counts frames
+	// refused before the wire (full queue, hop limit, malformed
+	// route); Errors counts TError answers across both.
+	Forwards int64 `json:"forwards"`
+	Shed     int64 `json:"shed"`
+	Errors   int64 `json:"errors"`
+	// The latency quantiles summarize the most recent wire-crossing
+	// forwards (up to the window size), in seconds; zero when none
+	// happened yet.
+	LatencyP50 float64 `json:"latency_p50_s"`
+	LatencyP90 float64 `json:"latency_p90_s"`
+	LatencyMax float64 `json:"latency_max_s"`
+}
+
+// snapshot copies and summarizes the tallies.
+func (s *forwardStats) snapshot() ForwardMetrics {
+	s.mu.Lock()
+	m := ForwardMetrics{Forwards: s.count, Shed: s.local, Errors: s.errors}
+	lat := make([]time.Duration, len(s.lat))
+	copy(lat, s.lat)
+	s.mu.Unlock()
+	if len(lat) == 0 {
+		return m
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	m.LatencyP50 = lat[len(lat)/2].Seconds()
+	m.LatencyP90 = lat[len(lat)*9/10].Seconds()
+	m.LatencyMax = lat[len(lat)-1].Seconds()
+	return m
+}
+
+// ForwardMetrics snapshots the node's forwarding tallies.
+func (n *Node) ForwardMetrics() ForwardMetrics { return n.fwd.snapshot() }

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is the deterministic consistent-hash ring that decides which
+// cluster member owns each resource. Every member contributes vnodes
+// points (virtual nodes) to a 64-bit hash circle; a resource belongs
+// to the member whose point is first at or clockwise of the
+// resource's own hash. Virtual nodes smooth the split: with enough of
+// them each member owns close to K/N of K resources.
+//
+// The ring is byte-deterministic: the same (members, vnodes, seed)
+// triple builds the same ring on every node of the cluster, in any
+// process, on any Go version — the hash is a seeded FNV-1a finished
+// with a splitmix64 mix, not Go's runtime map hash. That is what lets
+// each node compute ownership locally with no coordination, and what
+// makes placement tests reproducible.
+//
+// Stability under membership change is the structural property the
+// fuzz target (FuzzRingStability) pins: adding a member introduces
+// only that member's points, so the only keys whose owner changes are
+// the ones the new member captures; removing a member deletes only
+// its points, so only keys it owned move. Everyone else stays put —
+// O(K/N) movement, against O(K) for modulo placement.
+//
+// A Ring is immutable after construction; With and Without derive new
+// rings. Methods are safe for concurrent use.
+type Ring struct {
+	seed    uint64
+	vnodes  int
+	members []string // sorted, unique
+	points  []ringPoint
+}
+
+// ringPoint is one virtual node on the circle.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// DefaultVNodes is the virtual-node count NewRing substitutes for 0:
+// enough that a 3-node cluster splits a few hundred resources within
+// a few percent of evenly.
+const DefaultVNodes = 64
+
+// NewRing builds a ring from the member names. vnodes is the number
+// of points per member (0 means DefaultVNodes); seed perturbs every
+// hash so tests can re-deal placements without renaming members.
+// Member names must be non-empty and unique.
+func NewRing(members []string, vnodes int, seed uint64) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes == 0 {
+		vnodes = DefaultVNodes
+	}
+	if vnodes < 0 {
+		return nil, fmt.Errorf("cluster: negative vnodes %d", vnodes)
+	}
+	sorted := make([]string, len(members))
+	copy(sorted, members)
+	sort.Strings(sorted)
+	for i, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member name")
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("cluster: duplicate member %q", m)
+		}
+	}
+	r := &Ring{seed: seed, vnodes: vnodes, members: sorted}
+	r.points = make([]ringPoint, 0, len(sorted)*vnodes)
+	for _, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{ringHash(seed, m, uint32(v)), m})
+		}
+	}
+	// Sort by (hash, member): the member tie-break keeps the ring
+	// byte-deterministic even in the astronomically unlikely event two
+	// members' points collide at 64 bits.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Owner returns the member that owns key: the first point at or
+// clockwise of the key's hash, wrapping past the top of the circle.
+func (r *Ring) Owner(key string) string {
+	h := ringHash(r.seed, key, keyVNode)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// keyVNode separates the key hash domain from member point hashes
+// (members use vnode indices 0..vnodes-1), so a resource named after
+// a member does not land exactly on that member's point zero.
+const keyVNode = ^uint32(0)
+
+// Members returns the sorted member names. The slice is shared; do
+// not mutate.
+func (r *Ring) Members() []string { return r.members }
+
+// VNodes returns the per-member virtual node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Seed returns the ring's hash seed.
+func (r *Ring) Seed() uint64 { return r.seed }
+
+// With derives the ring that includes member. Existing members' points
+// are identical in both rings, so ownership moves only onto member.
+func (r *Ring) With(member string) (*Ring, error) {
+	names := make([]string, 0, len(r.members)+1)
+	names = append(names, r.members...)
+	names = append(names, member)
+	return NewRing(names, r.vnodes, r.seed)
+}
+
+// Without derives the ring that excludes member. The remaining
+// members' points are identical in both rings, so only keys member
+// owned move.
+func (r *Ring) Without(member string) (*Ring, error) {
+	names := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if m != member {
+			names = append(names, m)
+		}
+	}
+	if len(names) == len(r.members) {
+		return nil, fmt.Errorf("cluster: no member %q in ring", member)
+	}
+	return NewRing(names, r.vnodes, r.seed)
+}
+
+// ringHash is the ring's placement hash: FNV-1a over the name and
+// vnode index, seeded, then finished with the splitmix64 mix so the
+// low bits are as well distributed as the high ones. It is pinned
+// here rather than borrowed from hash/maphash (per-process random) or
+// the runtime: every node must compute the same circle.
+func ringHash(seed uint64, name string, vnode uint32) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ mix64(seed)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime
+	}
+	for shift := 0; shift < 32; shift += 8 {
+		h = (h ^ uint64(byte(vnode>>shift))) * prime
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer (same constants as
+// internal/rng's seeding).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

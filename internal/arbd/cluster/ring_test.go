@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("res-%d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"b", "a", "c"}
+	r1, err := NewRing(members, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same parameters, different member order: the ring sorts, so the
+	// circle is identical.
+	r2, err := NewRing([]string{"c", "a", "b"}, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		if o1, o2 := r1.Owner(k), r2.Owner(k); o1 != o2 {
+			t.Fatalf("Owner(%q) differs across identical rings: %q vs %q", k, o1, o2)
+		}
+	}
+}
+
+func TestRingSeedRedeals(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	r1, _ := NewRing(members, 0, 1)
+	r2, _ := NewRing(members, 0, 2)
+	moved := 0
+	for _, k := range testKeys(500) {
+		if r1.Owner(k) != r2.Owner(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("changing the seed re-dealt no keys; the seed is not reaching the hash")
+	}
+}
+
+func TestRingTotalAndBalanced(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	r, err := NewRing(members, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, m := range members {
+		got := counts[m]
+		// Perfectly even would be 1000 each; with 64 vnodes the spread
+		// stays well within a factor of two of fair share.
+		if got < len(keys)/6 || got > len(keys)/2 {
+			t.Errorf("member %q owns %d of %d keys; vnode smoothing is off", m, got, len(keys))
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	cases := []struct {
+		members []string
+		vnodes  int
+	}{
+		{nil, 0},
+		{[]string{"a", "a"}, 0},
+		{[]string{""}, 0},
+		{[]string{"a"}, -1},
+	}
+	for _, c := range cases {
+		if _, err := NewRing(c.members, c.vnodes, 0); err == nil {
+			t.Errorf("NewRing(%v, %d) succeeded, want error", c.members, c.vnodes)
+		}
+	}
+	r, _ := NewRing([]string{"a"}, 4, 0)
+	if _, err := r.Without("ghost"); err == nil {
+		t.Error("Without(unknown member) succeeded, want error")
+	}
+}
+
+// TestRingMovement pins the structural property the whole design rests
+// on: membership change moves only the keys it must.
+func TestRingMovement(t *testing.T) {
+	keys := testKeys(2000)
+	r, err := NewRing([]string{"a", "b", "c"}, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	grown, err := r.With("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedTo := 0
+	for _, k := range keys {
+		after := grown.Owner(k)
+		if after != before[k] {
+			if after != "d" {
+				t.Fatalf("adding d moved %q from %q to %q — keys may move only onto the new member", k, before[k], after)
+			}
+			movedTo++
+		}
+	}
+	// O(K/N) movement: the new member captures about a quarter. Allow a
+	// wide deterministic band; modulo placement would move ~3/4.
+	if movedTo == 0 || movedTo > len(keys)/2 {
+		t.Errorf("adding a 4th member moved %d of %d keys; want roughly K/N", movedTo, len(keys))
+	}
+
+	shrunk, err := r.Without("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		after := shrunk.Owner(k)
+		if before[k] == "b" {
+			if after == "b" {
+				t.Fatalf("removing b left %q owned by b", k)
+			}
+		} else if after != before[k] {
+			t.Fatalf("removing b moved %q from %q to %q — only b's keys may move", k, before[k], after)
+		}
+	}
+}
+
+// FuzzRingStability drives the movement invariant across random
+// member sets, seeds and key material: ownership is deterministic,
+// total, and a single member add or remove moves only the keys the
+// invariant allows.
+func FuzzRingStability(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(3), []byte("alpha/beta/gamma"))
+	f.Add(uint64(42), uint8(1), uint8(1), []byte("x"))
+	f.Add(uint64(0), uint8(16), uint8(7), []byte("res-0/res-1/res-2/res-3"))
+	f.Fuzz(func(t *testing.T, seed uint64, vnodes, nMembers uint8, keyData []byte) {
+		n := int(nMembers)%8 + 1
+		v := int(vnodes)%32 + 1
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("m%d", i)
+		}
+		keys := make([]string, 0, 32)
+		for start := 0; start < len(keyData) && len(keys) < 32; start += 8 {
+			end := min(start+8, len(keyData))
+			keys = append(keys, fmt.Sprintf("k%d-%x", len(keys), keyData[start:end]))
+		}
+		keys = append(keys, "k-fixed")
+
+		r, err := NewRing(members, v, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := NewRing(members, v, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isMember := map[string]bool{}
+		for _, m := range members {
+			isMember[m] = true
+		}
+		before := map[string]string{}
+		for _, k := range keys {
+			o := r.Owner(k)
+			if !isMember[o] {
+				t.Fatalf("Owner(%q) = %q, not a member", k, o)
+			}
+			if o2 := r2.Owner(k); o2 != o {
+				t.Fatalf("Owner(%q) nondeterministic: %q vs %q", k, o, o2)
+			}
+			before[k] = o
+		}
+
+		grown, err := r.With("added")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if o := grown.Owner(k); o != before[k] && o != "added" {
+				t.Fatalf("add moved %q from %q to %q (not the new member)", k, before[k], o)
+			}
+		}
+
+		victim := members[int(seed)%n]
+		shrunk, err := r.Without(victim)
+		if n == 1 {
+			// Removing the last member empties the ring; NewRing refuses.
+			if err == nil {
+				t.Fatal("Without on a 1-member ring succeeded")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			o := shrunk.Owner(k)
+			if before[k] == victim {
+				if o == victim {
+					t.Fatalf("remove left %q owned by removed member %q", k, victim)
+				}
+			} else if o != before[k] {
+				t.Fatalf("remove of %q moved unrelated key %q from %q to %q", victim, k, before[k], o)
+			}
+		}
+	})
+}

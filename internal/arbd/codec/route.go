@@ -1,0 +1,87 @@
+package codec
+
+import "encoding/binary"
+
+// This file is the routed-frame route field's wire layout: what the
+// opaque bytes behind FlagRouted actually contain now that the cluster
+// layer (internal/arbd/cluster) is real. The framing spec in
+// docs/WIRE.md reserved the field in version 1 precisely so these
+// layouts could land without a version bump; endpoints that do not
+// understand them still carry the bytes through untouched.
+//
+// Two layouts share the field, disambiguated by direction:
+//
+//	request (client→server, node→node):
+//	    hops u8, origin member name (u16 len + bytes), origin corr u64
+//	response (server→client):
+//	    hops u8, owner member name (u16 len + bytes), owner address
+//	    (u16 len + bytes)
+//
+// The request form is stamped by the first forwarding node (origin =
+// its own member name, corr = the client's correlation ID) and
+// preserved — hops incremented — across any further hop, so the owner
+// can see where a frame entered the cluster. The response form is the
+// owner hint a forwarding node attaches when relaying the owner's
+// answer: clients use it to learn resource placement lazily and dial
+// the owner directly next time.
+//
+// Like the rest of the codec these helpers are allocation-free: the
+// appenders extend a caller-owned slice and the parsers alias their
+// input. Callers that keep parsed fields across frames must copy them.
+
+// RouteHopLimit is the largest hop count a conforming node will
+// forward past; it exists to stop a misconfigured cluster (two nodes
+// whose rings disagree) from bouncing a frame forever. Nodes answer
+// Error 503 instead of forwarding a frame whose hops reach it.
+const RouteHopLimit = 3
+
+// AppendRequestRoute appends the request-form route field onto dst:
+// the hop count, the member name of the node where the frame entered
+// the cluster, and the correlation ID the original client chose.
+func AppendRequestRoute(dst []byte, hops uint8, origin []byte, corr uint64) []byte {
+	dst = append(dst, hops)
+	dst = appendField(dst, origin)
+	return binary.BigEndian.AppendUint64(dst, corr)
+}
+
+// ParseRequestRoute parses a request-form route field. origin aliases
+// route. ok is false when the bytes do not parse under the layout.
+func ParseRequestRoute(route []byte) (hops uint8, origin []byte, corr uint64, ok bool) {
+	if len(route) < 1 {
+		return 0, nil, 0, false
+	}
+	hops = route[0]
+	origin, rest, ok := cutField(route[1:])
+	if !ok || len(rest) != 8 {
+		return 0, nil, 0, false
+	}
+	return hops, origin, binary.BigEndian.Uint64(rest), true
+}
+
+// AppendOwnerRoute appends the response-form route field onto dst: the
+// hop count the request took, the owning member's name, and its
+// dialable binary-transport address.
+func AppendOwnerRoute(dst []byte, hops uint8, owner, addr []byte) []byte {
+	dst = append(dst, hops)
+	dst = appendField(dst, owner)
+	return appendField(dst, addr)
+}
+
+// ParseOwnerRoute parses a response-form route field. owner and addr
+// alias route. ok is false when the bytes do not parse under the
+// layout.
+func ParseOwnerRoute(route []byte) (hops uint8, owner, addr []byte, ok bool) {
+	if len(route) < 1 {
+		return 0, nil, nil, false
+	}
+	hops = route[0]
+	owner, rest, ok := cutField(route[1:])
+	if !ok {
+		return 0, nil, nil, false
+	}
+	addr, rest, ok = cutField(rest)
+	if !ok || len(rest) != 0 {
+		return 0, nil, nil, false
+	}
+	return hops, owner, addr, true
+}

@@ -37,8 +37,19 @@ type LoadConfig struct {
 	// "http://127.0.0.1:8321" (HTTP) or "tcp://127.0.0.1:8322"
 	// (binary).
 	Target string
+	// Targets, when set, lists several daemon targets instead of
+	// Target: the generator connects with client.DialCluster, so the
+	// run drives an arbd cluster with owner-aware routing. A single
+	// entry still goes through DialCluster (useful to exercise the
+	// topology-learning path against one node).
+	Targets []string
 	// Resource names the arbitrated resource to pound on.
 	Resource string
+	// Resources, when set, spreads the agents round-robin over several
+	// resources instead of Resource: agent i drives
+	// Resources[(i-1)%R] under per-resource identity (i-1)/R+1, so
+	// each resource sees a dense 1..ceil(N/R) identity range.
+	Resources []string
 	// Agents is the number of closed-loop clients (identities 1..Agents).
 	Agents int
 	// Requests is each agent's grant budget.
@@ -56,14 +67,42 @@ type LoadConfig struct {
 	Seed uint64
 }
 
+// targetList resolves the effective targets: Targets when set, else
+// the single Target.
+func (cfg LoadConfig) targetList() []string {
+	if len(cfg.Targets) > 0 {
+		return cfg.Targets
+	}
+	return []string{cfg.Target}
+}
+
+// resourceList resolves the effective resources: Resources when set,
+// else the single Resource.
+func (cfg LoadConfig) resourceList() []string {
+	if len(cfg.Resources) > 0 {
+		return cfg.Resources
+	}
+	return []string{cfg.Resource}
+}
+
 // Validate checks the configuration; RunLoad returns exactly these
 // errors before touching the network.
 func (cfg LoadConfig) Validate() error {
-	if cfg.Target == "" {
+	if cfg.Target == "" && len(cfg.Targets) == 0 {
 		return fmt.Errorf("arbload: target required")
 	}
-	if cfg.Resource == "" {
+	for _, target := range cfg.Targets {
+		if target == "" {
+			return fmt.Errorf("arbload: empty target in list")
+		}
+	}
+	if cfg.Resource == "" && len(cfg.Resources) == 0 {
 		return fmt.Errorf("arbload: resource name required")
+	}
+	for _, r := range cfg.Resources {
+		if r == "" {
+			return fmt.Errorf("arbload: empty resource name in list")
+		}
 	}
 	if cfg.Agents < 1 {
 		return fmt.Errorf("arbload: need at least 1 agent, got %d", cfg.Agents)
@@ -82,6 +121,12 @@ func (cfg LoadConfig) Validate() error {
 
 // AgentLoad is one agent's measurements.
 type AgentLoad struct {
+	// Resource is the resource this agent drove (the round-robin
+	// assignment when LoadConfig.Resources is set).
+	Resource string
+	// Identity is the arbitrating identity the agent used on its
+	// resource (dense 1..ceil(N/R) per resource).
+	Identity int
 	// Grants is the number of leases obtained (== the budget unless
 	// acquires timed out).
 	Grants int64
@@ -120,11 +165,18 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c, err := client.Dial(cfg.Target)
+	var c *client.Client
+	var err error
+	if targets := cfg.targetList(); len(cfg.Targets) > 0 {
+		c, err = client.DialCluster(targets)
+	} else {
+		c, err = client.Dial(targets[0])
+	}
 	if err != nil {
 		return nil, fmt.Errorf("arbload: %w", err)
 	}
 	defer c.Close()
+	resources := cfg.resourceList()
 
 	type agentResult struct {
 		agent AgentLoad
@@ -146,6 +198,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		go func(id int) {
 			defer wg.Done()
 			res := &results[id-1]
+			// Round-robin assignment over the resource list: dense
+			// per-resource identities keep each shard's protocol seeing
+			// agents 1..ceil(N/R), the shape the fairness figures assume.
+			resource := resources[(id-1)%len(resources)]
+			identity := (id-1)/len(resources) + 1
+			res.agent.Resource = resource
+			res.agent.Identity = identity
 			var think dist.Sampler
 			if cfg.ThinkMean > 0 {
 				think = dist.ByCV(cfg.ThinkMean, cfg.ThinkCV)
@@ -157,7 +216,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					time.Sleep(time.Duration(think.Sample(src) * float64(time.Second)))
 				}
 				t0 := time.Now()
-				lease, err := c.Acquire(ctx, cfg.Resource, id,
+				lease, err := c.Acquire(ctx, resource, identity,
 					client.AcquireOptions{Timeout: cfg.Timeout})
 				if errors.Is(err, client.ErrDeadline) {
 					res.agent.Timeouts++
@@ -233,19 +292,40 @@ func durQuantile(samples []time.Duration, q float64) time.Duration {
 
 // WriteReport renders the report as the arbload CLI's output.
 func (r *LoadReport) WriteReport(w io.Writer, cfg LoadConfig) error {
+	resources := cfg.resourceList()
+	targets := cfg.targetList()
+	via := targetScheme(targets[0])
+	if len(targets) > 1 {
+		via = fmt.Sprintf("cluster of %d", len(targets))
+	}
 	if _, err := fmt.Fprintf(w, "arbload: %d agents x %d requests on %q via %s (%.2fs)\n",
-		cfg.Agents, cfg.Requests, cfg.Resource, targetScheme(cfg.Target), r.Elapsed.Seconds()); err != nil {
+		cfg.Agents, cfg.Requests, strings.Join(resources, ","), via, r.Elapsed.Seconds()); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "  %5s %8s %9s %11s %10s %10s %10s\n",
+	multi := len(resources) > 1
+	if multi {
+		if _, err := fmt.Fprintf(w, "  %5s %12s %8s %9s %11s %10s %10s %10s\n",
+			"agent", "resource", "grants", "timeouts", "grants/s", "Wp50", "Wp90", "Wmax"); err != nil {
+			return err
+		}
+	} else if _, err := fmt.Fprintf(w, "  %5s %8s %9s %11s %10s %10s %10s\n",
 		"agent", "grants", "timeouts", "grants/s", "Wp50", "Wp90", "Wmax"); err != nil {
 		return err
 	}
 	for i, a := range r.Agents {
-		if _, err := fmt.Fprintf(w, "  %5d %8d %9d %11.2f %10s %10s %10s\n",
-			i+1, a.Grants, a.Timeouts, a.Throughput,
-			a.WaitP50.Round(time.Microsecond), a.WaitP90.Round(time.Microsecond),
-			a.WaitMax.Round(time.Microsecond)); err != nil {
+		var err error
+		if multi {
+			_, err = fmt.Fprintf(w, "  %5d %12s %8d %9d %11.2f %10s %10s %10s\n",
+				a.Identity, a.Resource, a.Grants, a.Timeouts, a.Throughput,
+				a.WaitP50.Round(time.Microsecond), a.WaitP90.Round(time.Microsecond),
+				a.WaitMax.Round(time.Microsecond))
+		} else {
+			_, err = fmt.Fprintf(w, "  %5d %8d %9d %11.2f %10s %10s %10s\n",
+				i+1, a.Grants, a.Timeouts, a.Throughput,
+				a.WaitP50.Round(time.Microsecond), a.WaitP90.Round(time.Microsecond),
+				a.WaitMax.Round(time.Microsecond))
+		}
+		if err != nil {
 			return err
 		}
 	}

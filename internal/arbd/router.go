@@ -1,0 +1,89 @@
+package arbd
+
+import (
+	"context"
+	"time"
+
+	"busarb/internal/arbd/codec"
+)
+
+// Router is the seam between the binary server and a cluster layer
+// (internal/arbd/cluster). A routed BinaryServer consults it per
+// frame: frames for resources the router owns are handled by the
+// local Daemon exactly as on a standalone server; frames for foreign
+// resources are handed to ForwardAcquire/ForwardRelease, which proxy
+// them to the owning node and return the owner's answer. The server
+// stays transport-mechanical — membership, hop limits, deadline
+// decrements and connection pooling all live behind this interface.
+//
+// Implementations must be safe for concurrent use: the server calls
+// Owns from every connection's reader goroutine and the Forward
+// methods from per-request goroutines.
+type Router interface {
+	// Owns reports whether the local node is the owner of resource
+	// under the cluster's ring. Unknown resources are "owned" too —
+	// the local daemon answers 404 with more context than a routing
+	// layer could.
+	Owns(resource string) bool
+
+	// ForwardAcquire proxies an acquire to the owner and blocks until
+	// the owner answers, the forward fails, or ctx is done. It always
+	// returns a terminal reply (TGrant or TError).
+	ForwardAcquire(ctx context.Context, f ForwardFrame) ForwardReply
+
+	// ForwardRelease proxies a release to the owner. It always returns
+	// a terminal reply (TReleased or TError).
+	ForwardRelease(ctx context.Context, f ForwardFrame) ForwardReply
+}
+
+// ForwardFrame is one decoded client request handed to a Router, with
+// owned (not buffer-aliased) fields.
+type ForwardFrame struct {
+	Resource string
+	// Agent is the arbitrating identity (acquire only).
+	Agent int
+	// Timeout is the client's queue-wait bound (acquire only; 0 waits
+	// indefinitely). Routers decrement it per hop so a forwarded
+	// acquire cannot outlive the client's deadline.
+	Timeout time.Duration
+	// TTL is the requested lease lifetime (acquire only).
+	TTL time.Duration
+	// Token identifies the lease (release only).
+	Token string
+	// Corr is the client's correlation ID, used to stamp the origin
+	// into the onward route field.
+	Corr uint64
+	// Route is the incoming frame's route field (owned copy) and
+	// Routed whether FlagRouted was set — non-zero when this frame
+	// already crossed a node, in which case the router enforces the
+	// hop limit instead of stamping a fresh origin.
+	Route  []byte
+	Routed bool
+}
+
+// ForwardReply is a Router's terminal answer, ready to encode as the
+// response to the origin client. Route carries the owner hint
+// (codec.AppendOwnerRoute layout) the server attaches under
+// FlagRouted so clients can learn resource placement lazily.
+type ForwardReply struct {
+	// Type is TGrant, TReleased or TError.
+	Type codec.Type
+	// Agent and TTL populate a TGrant.
+	Agent int
+	TTL   time.Duration
+	// Resource and Token populate TGrant/TReleased frames.
+	Resource string
+	Token    string
+	// Code and Msg populate a TError (the daemon's 400/404/408/503
+	// taxonomy).
+	Code int
+	Msg  string
+	// Route is the owner-hint route field for the response.
+	Route []byte
+}
+
+// ErrorReply builds a TError ForwardReply; routers use it for local
+// forwarding failures (overload, unreachable owner, hop limit).
+func ErrorReply(code int, msg string) ForwardReply {
+	return ForwardReply{Type: codec.TError, Code: code, Msg: msg}
+}

@@ -6,6 +6,8 @@ package clitest
 
 import (
 	"bufio"
+	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -102,6 +104,10 @@ func TestCLIFailurePathsExitNonZero(t *testing.T) {
 		{"arbd tree unknown protocol", "arbd", []string{"-resources", "bus:8x4:RR1/BOGUS"}, "", 1, "unknown protocol"},
 		{"arbd unlistenable address", "arbd", []string{"-addr", "256.0.0.1:0", "-resources", "bus:2:RR1"}, "", 1, ""},
 		{"arbd unlistenable binary address", "arbd", []string{"-addr", "127.0.0.1:0", "-baddr", "256.0.0.1:0", "-resources", "bus:2:RR1"}, "", 1, ""},
+		{"arbd bad cluster member spec", "arbd", []string{"-cluster", "a;tcp://127.0.0.1:1"}, "", 1, "want name=addr"},
+		{"arbd empty cluster list", "arbd", []string{"-cluster", " , "}, "", 1, "names no members"},
+		{"arbd self not in cluster", "arbd", []string{"-cluster", "a=tcp://127.0.0.1:1", "-self", "b"}, "", 1, "not in Members"},
+		{"arbload empty resources list", "arbload", []string{"-resources", " , ", "-agents", "1", "-requests", "1"}, "", 1, "names no resources"},
 		{"arbload unreachable daemon", "arbload", []string{"-target", "http://127.0.0.1:1", "-resource", "bus", "-agents", "1", "-requests", "1"}, "", 1, "acquire"},
 		{"arbload unreachable binary daemon", "arbload", []string{"-target", "tcp://127.0.0.1:1", "-resource", "bus", "-agents", "1", "-requests", "1"}, "", 1, "dial"},
 		{"arbload schemeless target", "arbload", []string{"-target", "127.0.0.1:8321", "-agents", "1", "-requests", "1"}, "", 1, "scheme"},
@@ -253,6 +259,103 @@ func TestArbdLifecycle(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not exit within 10s of SIGTERM")
+	}
+}
+
+// freePort reserves an ephemeral port and returns it, released for
+// the caller to rebind. The tiny race with other processes is the
+// standard cost of needing a port number before the process that will
+// listen on it exists (cluster members must know each other's
+// addresses up front).
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// TestArbdClusterLifecycle pins the -cluster serving path end to end:
+// two arbd processes form a cluster, a multi-target multi-resource
+// arbload run completes against it (agents spread round-robin over
+// the resources, calls routed to each resource's owner or forwarded),
+// and SIGTERM is a clean exit 0 on both members.
+func TestArbdClusterLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts real daemons")
+	}
+	bins := buildCmds(t)
+
+	p1, p2 := freePort(t), freePort(t)
+	spec := fmt.Sprintf("a=tcp://127.0.0.1:%d,b=tcp://127.0.0.1:%d", p1, p2)
+	var daemons []*exec.Cmd
+	for _, name := range []string{"a", "b"} {
+		daemon := exec.Command(bins["arbd"],
+			"-addr", "127.0.0.1:0", "-cluster", spec, "-self", name,
+			"-resources", "bus:4:RR1,disk:4:RR1,dma:4:RR1", "-tick", "200us")
+		stdout, err := daemon.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stderr strings.Builder
+		daemon.Stderr = &stderr
+		if err := daemon.Start(); err != nil {
+			t.Fatal(err)
+		}
+		daemons = append(daemons, daemon)
+		defer daemon.Process.Kill() // no-op after a clean Wait
+
+		ready := make(chan bool, 1)
+		go func() {
+			lines := bufio.NewScanner(stdout)
+			for lines.Scan() {
+				if strings.HasPrefix(lines.Text(), "arbd: binary listening on ") {
+					ready <- true
+					return
+				}
+			}
+			ready <- false
+		}()
+		select {
+		case ok := <-ready:
+			if !ok {
+				t.Fatalf("member %s never announced its binary listener (stderr: %s)", name, stderr.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("member %s startup timed out (stderr: %s)", name, stderr.String())
+		}
+	}
+
+	targets := fmt.Sprintf("tcp://127.0.0.1:%d,tcp://127.0.0.1:%d", p1, p2)
+	code, out := runStdout(t, bins["arbload"], "",
+		"-target", targets, "-resources", "bus,disk,dma", "-agents", "6", "-requests", "5")
+	if code != 0 {
+		t.Fatalf("arbload exited %d against the cluster", code)
+	}
+	if !strings.Contains(out, "bandwidth ratio t_N/t_1") {
+		t.Errorf("arbload cluster report missing the bandwidth ratio line:\n%s", out)
+	}
+	if !strings.Contains(out, "via cluster of 2") {
+		t.Errorf("arbload cluster report missing the cluster header:\n%s", out)
+	}
+
+	for i, daemon := range daemons {
+		if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		waitErr := make(chan error, 1)
+		go func() { waitErr <- daemon.Wait() }()
+		select {
+		case err := <-waitErr:
+			if err != nil {
+				t.Errorf("member %d SIGTERM exit: %v (want clean exit 0)", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("member %d did not exit within 10s of SIGTERM", i)
+		}
 	}
 }
 
